@@ -1,0 +1,63 @@
+"""Figure 1 -- singular-value pattern of the VFTI and MFTI Loewner pencils.
+
+Paper setting: 8 scattering matrices sampled from an order-150, 30-port
+system.  The paper's observation is that the MFTI profiles (of ``L``, ``sL``
+and ``x*L - sL``) show a sharp drop at the underlying order (150 / 180 / 180)
+while the VFTI profiles show no usable drop.  The benchmark times the two
+model builds and regenerates the singular-value series.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import mfti, vfti
+from repro.experiments.example1 import Example1Config, singular_value_experiment
+from repro.experiments.reporting import format_series
+
+
+@pytest.fixture(scope="module")
+def example1_data():
+    config = Example1Config()
+    return config, config.sample_data()
+
+
+def test_figure1_mfti_pencil_build(benchmark, example1_data, reportable):
+    """Time the MFTI pencil construction + realization on the 8-sample workload."""
+    config, data = example1_data
+    result = benchmark(lambda: mfti(data))
+    figure = singular_value_experiment(config)
+    series = {
+        "mfti_loewner": figure.mfti_singular_values["loewner"],
+        "mfti_shifted": figure.mfti_singular_values["shifted_loewner"],
+        "mfti_pencil": figure.mfti_singular_values["pencil"],
+    }
+    index = np.arange(1, len(series["mfti_pencil"]) + 1)
+    reportable("figure1_mfti.txt", format_series(
+        index, series, x_label="index",
+        title="Figure 1 (MFTI): singular values of L, sL, xL - sL"))
+    benchmark.extra_info["detected_order"] = int(figure.mfti_detected_order)
+    benchmark.extra_info["true_order_plus_rankD"] = int(figure.true_order_with_feedthrough)
+    benchmark.extra_info["drop_ratio"] = float(figure.mfti_drop_ratio())
+    assert figure.mfti_detected_order == figure.true_order_with_feedthrough
+    assert result.order == figure.true_order_with_feedthrough
+
+
+def test_figure1_vfti_pencil_build(benchmark, example1_data, reportable):
+    """Time the VFTI build on the same 8 samples; no sharp singular-value drop appears."""
+    config, data = example1_data
+    benchmark(lambda: vfti(data))
+    figure = singular_value_experiment(config)
+    series = {
+        "vfti_loewner": figure.vfti_singular_values["loewner"],
+        "vfti_shifted": figure.vfti_singular_values["shifted_loewner"],
+        "vfti_pencil": figure.vfti_singular_values["pencil"],
+    }
+    index = np.arange(1, len(series["vfti_pencil"]) + 1)
+    reportable("figure1_vfti.txt", format_series(
+        index, series, x_label="index",
+        title="Figure 1 (VFTI): singular values of L, sL, xL - sL"))
+    benchmark.extra_info["largest_drop_ratio"] = float(figure.vfti_drop_ratio())
+    # the VFTI profile has no drop anywhere near the MFTI one
+    assert figure.vfti_drop_ratio() < figure.mfti_drop_ratio() / 1e3

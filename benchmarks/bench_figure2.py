@@ -1,0 +1,44 @@
+"""Figure 2 -- Bode magnitude (port 1 -> 1) of the original and recovered systems.
+
+Paper setting: same 8-sample workload as Fig. 1; the MFTI model overlays the
+original response while the VFTI model visibly deviates.  The benchmark times
+the validation sweep of both recovered models and regenerates the three Bode
+magnitude series.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.example1 import Example1Config, bode_experiment
+from repro.experiments.reporting import format_series
+
+
+@pytest.fixture(scope="module")
+def figure2():
+    return bode_experiment(Example1Config(), n_validation=200)
+
+
+def test_figure2_bode_comparison(benchmark, figure2, reportable):
+    """Time re-evaluating both recovered models over the 200-point Bode grid."""
+    def sweep():
+        mfti_mag = figure2.mfti_result.frequency_response(figure2.frequencies_hz)
+        vfti_mag = figure2.vfti_result.frequency_response(figure2.frequencies_hz)
+        return mfti_mag, vfti_mag
+
+    benchmark(sweep)
+    reportable("figure2_bode.txt", format_series(
+        figure2.frequencies_hz,
+        {
+            "original": figure2.original_magnitude,
+            "mfti_model": figure2.mfti_magnitude,
+            "vfti_model": figure2.vfti_magnitude,
+        },
+        x_label="frequency_hz",
+        title="Figure 2: |S11| of original vs MFTI vs VFTI models",
+    ))
+    benchmark.extra_info["mfti_error"] = figure2.mfti_error
+    benchmark.extra_info["vfti_error"] = figure2.vfti_error
+    # shape of the paper's figure: MFTI follows the original, VFTI does not
+    assert figure2.mfti_error < 1e-6
+    assert figure2.vfti_error > 1e-2

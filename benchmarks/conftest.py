@@ -1,0 +1,36 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark module regenerates one evaluation artifact of the paper
+(Fig. 1, Fig. 2, Table 1, the Theorem-3.5 sweep) or one ablation.  Workload
+construction (building the benchmark system, sampling, adding noise) happens
+in module-scoped fixtures so the timed section contains only the algorithm
+under study; the regenerated tables/series are printed so a plain
+``pytest benchmarks/ --benchmark-only -s`` reproduces the paper's artifacts
+textually and written to ``benchmarks/results/`` for later inspection.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def save_report(name: str, text: str) -> str:
+    """Write a formatted report under ``benchmarks/results`` and return its path."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, name)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def reportable():
+    """Print-and-save helper shared by all benchmark modules."""
+    def _report(name: str, text: str) -> None:
+        path = save_report(name, text)
+        print(f"\n{text}\n[saved to {path}]")
+    return _report

@@ -1,0 +1,78 @@
+"""Weighting ill-conditioned samples through per-sample block sizes.
+
+The paper's Test 2 concerns *poorly distributed* sampling: most frequencies
+crowd into the top of the band, so the low-frequency behaviour is represented
+by only a few samples.  MFTI's per-sample block size ``t_i`` acts as a weight:
+assigning larger blocks to the scarce low-frequency samples spends more of the
+interpolation budget where information is scarce.
+
+This script compares three strategies on a clustered, noisy sweep of the
+14-port PDN workload of Example 2:
+
+* uniform small blocks (``t_i = 2`` everywhere),
+* uniform large blocks (``t_i = 3`` everywhere),
+* weighted blocks (``t_i = 4`` for the sparse low-frequency samples,
+  ``t_i = 2`` for the crowded high-frequency ones).
+
+Run with ``python examples/ill_conditioned_weighting.py`` (about 20 seconds).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import add_measurement_noise, mfti, sample_scattering
+from repro.circuits.pdn import PdnConfiguration, power_distribution_network
+from repro.core.options import MftiOptions
+from repro.data import clustered_frequencies, linear_frequencies
+from repro.experiments.reporting import format_table
+
+F_MIN, F_MAX = 1e6, 2.5e9
+N_SAMPLES = 100
+NOISE_LEVEL = 2e-4
+RANK_TOLERANCE = 2e-4
+
+
+def main() -> None:
+    pdn = power_distribution_network(PdnConfiguration(grid_rows=6, grid_cols=6))
+    print(f"workload: synthetic 14-port PDN, order {pdn.order}")
+
+    frequencies = clustered_frequencies(F_MIN, F_MAX, N_SAMPLES)
+    clean = sample_scattering(pdn, frequencies, system_kind="Z", label="clustered sweep")
+    data = add_measurement_noise(clean, relative_level=NOISE_LEVEL, seed=3)
+    validation = sample_scattering(pdn, linear_frequencies(F_MIN, F_MAX, 250),
+                                   system_kind="Z")
+
+    split = F_MIN + 0.7 * (F_MAX - F_MIN)
+    n_low = int(np.count_nonzero(frequencies < split))
+    print(f"clustered grid: only {n_low} of {N_SAMPLES} samples below {split:.1e} Hz\n")
+
+    weighted_sizes = [4 if f < split else 2 for f in frequencies]
+    strategies = {
+        "uniform t=2": MftiOptions(block_size=2, rank_method="tolerance",
+                                   rank_tolerance=RANK_TOLERANCE),
+        "uniform t=3": MftiOptions(block_size=3, rank_method="tolerance",
+                                   rank_tolerance=RANK_TOLERANCE),
+        "weighted (t=4 low band, t=2 high band)": MftiOptions(
+            block_size=weighted_sizes, rank_method="tolerance",
+            rank_tolerance=RANK_TOLERANCE),
+    }
+
+    rows = []
+    for name, options in strategies.items():
+        result = mfti(data, options=options)
+        rows.append([name, result.order, result.elapsed_seconds,
+                     result.aggregate_error(validation)])
+    print(format_table(
+        ["strategy", "model order", "time (s)", "error vs ground truth"],
+        rows,
+        title="Per-sample weighting on ill-conditioned (clustered) sampling",
+    ))
+    print("\nGiving extra tangential columns to the scarce low-frequency samples recovers "
+          "accuracy that uniform small blocks cannot, without paying the full cost of "
+          "large blocks everywhere -- the weighting option the paper describes for "
+          "ill-conditioned data.")
+
+
+if __name__ == "__main__":
+    main()

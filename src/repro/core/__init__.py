@@ -1,0 +1,67 @@
+"""Loewner-matrix tangential interpolation: VFTI baseline and the paper's MFTI.
+
+Layout of the subpackage (bottom-up):
+
+* :mod:`repro.core.directions` -- tangential direction generators (unit
+  vectors for VFTI, orthonormal ``t_i``-column matrices for MFTI).
+* :mod:`repro.core.tangential` -- the :class:`TangentialData` container and
+  its construction from :class:`~repro.data.dataset.FrequencyData`
+  (eqs. 6-9 of the paper).
+* :mod:`repro.core.loewner` -- block-format Loewner and shifted Loewner
+  matrices (eqs. 11-12) and their Sylvester-equation checks (eq. 13).
+* :mod:`repro.core.realization` -- the direct realization of Lemma 3.1, the
+  real transform of Lemma 3.2 and the SVD realization of Lemma 3.4.
+* :mod:`repro.core.sampling` -- the minimal-sampling estimates of Theorem 3.5.
+* :mod:`repro.core.mfti` -- Algorithm 1 (MFTI for noise-free / clean data).
+* :mod:`repro.core.recursive` -- Algorithm 2 (recursive MFTI for noisy data).
+* :mod:`repro.core.vfti` -- the vector-format baseline the paper compares
+  against.
+* :mod:`repro.core.options` / :mod:`repro.core.results` -- configuration and
+  result value objects shared by all front-ends.
+"""
+
+from repro.core.directions import (
+    identity_directions,
+    orthonormal_directions,
+    vfti_directions,
+)
+from repro.core.loewner import LoewnerPencil, build_loewner_pencil, sylvester_residuals
+from repro.core.mfti import mfti
+from repro.core.options import InterpolationOptions, MftiOptions, RecursiveOptions, VftiOptions
+from repro.core.realization import (
+    direct_realization,
+    real_transform_matrix,
+    svd_realization,
+    to_real_data,
+)
+from repro.core.recursive import recursive_mfti
+from repro.core.results import MacromodelResult, RecursiveDiagnostics
+from repro.core.sampling import minimal_sample_count, recommend_sample_count
+from repro.core.tangential import TangentialData, build_tangential_data
+from repro.core.vfti import vfti
+
+__all__ = [
+    "identity_directions",
+    "orthonormal_directions",
+    "vfti_directions",
+    "TangentialData",
+    "build_tangential_data",
+    "LoewnerPencil",
+    "build_loewner_pencil",
+    "sylvester_residuals",
+    "direct_realization",
+    "svd_realization",
+    "real_transform_matrix",
+    "to_real_data",
+    "minimal_sample_count",
+    "recommend_sample_count",
+    "mfti",
+    "recursive_mfti",
+    "vfti",
+    "InterpolationOptions",
+    "MftiOptions",
+    "VftiOptions",
+    "RecursiveOptions",
+    "MacromodelResult",
+    "RecursiveDiagnostics",
+]

@@ -1,0 +1,83 @@
+"""Shared Loewner pipeline used by the VFTI and MFTI front-ends.
+
+Both front-ends differ only in how they pick tangential directions; once the
+:class:`~repro.core.tangential.TangentialData` exists, the remaining steps --
+assemble the pencil, optionally apply the real transform, project through the
+rank-revealing SVD, package the result -- are identical and live here.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.loewner import build_loewner_pencil
+from repro.core.options import InterpolationOptions
+from repro.core.realization import svd_realization, to_real_data
+from repro.core.results import MacromodelResult
+from repro.core.tangential import TangentialData
+
+__all__ = ["realize_from_tangential"]
+
+
+def realize_from_tangential(
+    tangential: TangentialData,
+    options: InterpolationOptions,
+    *,
+    method: str,
+    n_samples_used: int,
+    started_at: float | None = None,
+    metadata: dict | None = None,
+) -> MacromodelResult:
+    """Run the Loewner realization pipeline on prepared tangential data.
+
+    Parameters
+    ----------
+    tangential:
+        The right/left tangential data (already including conjugates when a
+        real model is requested).
+    options:
+        Shared interpolation options (real output, SVD mode, rank rule, ...).
+    method:
+        Name recorded on the result (``"mfti"``, ``"vfti"``, ...).
+    n_samples_used:
+        Number of sampled matrices that contributed to ``tangential``.
+    started_at:
+        Optional ``time.perf_counter()`` timestamp taken before the direction
+        generation, so the reported time covers the whole algorithm.
+    metadata:
+        Extra key/value pairs stored on the result.
+    """
+    start = time.perf_counter() if started_at is None else started_at
+    complex_pencil = build_loewner_pencil(tangential)
+    # singular-value profiles (Fig. 1) are always reported from the complex
+    # pencil; the real transform is unitary so the profiles are identical
+    singular_values = complex_pencil.singular_values(options.x0)
+
+    pencil = complex_pencil
+    if options.real_output:
+        pencil = to_real_data(complex_pencil)
+
+    system, diagnostics = svd_realization(
+        pencil,
+        order=options.order,
+        rank_tolerance=options.rank_tolerance,
+        rank_method=options.rank_method,
+        mode=options.svd_mode,
+        x0=options.x0,
+    )
+    elapsed = time.perf_counter() - start
+    info = dict(metadata or {})
+    info.setdefault("options", options)
+    return MacromodelResult(
+        system=system,
+        method=method,
+        singular_values={k: np.asarray(v) for k, v in singular_values.items()},
+        realization=diagnostics,
+        tangential=tangential,
+        pencil=pencil,
+        n_samples_used=int(n_samples_used),
+        elapsed_seconds=float(elapsed),
+        metadata=info,
+    )

@@ -1,0 +1,166 @@
+"""Configuration objects for the interpolation front-ends.
+
+All knobs of the algorithms are collected in small frozen dataclasses so that
+experiments can be described declaratively (and compared in ablations) instead
+of through long keyword lists.  Every front-end also accepts plain keyword
+arguments and builds the options object internally, so casual use stays
+lightweight::
+
+    result = mfti(data)                          # defaults
+    result = mfti(data, block_size=2)            # paper's "t_i = 2" row
+    result = mfti(data, options=MftiOptions(block_size=3, rank_method="tolerance"))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from repro.utils.rng import RandomState
+
+__all__ = ["InterpolationOptions", "MftiOptions", "VftiOptions", "RecursiveOptions"]
+
+
+@dataclass(frozen=True)
+class InterpolationOptions:
+    """Options shared by every Loewner-based front-end (VFTI and MFTI).
+
+    Attributes
+    ----------
+    real_output:
+        Apply the real transform of Lemma 3.2 so the recovered model has real
+        matrices.  Requires conjugate data (``include_conjugates``).
+    include_conjugates:
+        Add the mirrored samples at ``-j 2 pi f`` (eq. 6-7).  Disabling this
+        also disables ``real_output``.
+    svd_mode:
+        ``"two-sided"`` (SVDs of ``[L, sL]`` / ``[L; sL]``; robust default) or
+        ``"pencil"`` (single SVD of ``x0*L - sL``, the paper's literal step 5).
+    x0:
+        Shift used in pencil mode; ``None`` selects the first right point.
+    order:
+        Explicit model order; ``None`` selects the order automatically from
+        the singular-value profile.
+    rank_method:
+        Automatic order detection rule: ``"gap"`` or ``"tolerance"``.
+    rank_tolerance:
+        Relative singular-value tolerance used by the ``"tolerance"`` rule and
+        as the fallback of the ``"gap"`` rule.
+    """
+
+    real_output: bool = True
+    include_conjugates: bool = True
+    svd_mode: str = "two-sided"
+    x0: Optional[complex] = None
+    order: Optional[int] = None
+    rank_method: str = "gap"
+    rank_tolerance: float = 1e-9
+
+    def __post_init__(self):
+        if self.svd_mode not in ("two-sided", "pencil"):
+            raise ValueError(f"svd_mode must be 'two-sided' or 'pencil', got {self.svd_mode!r}")
+        if self.rank_method not in ("gap", "tolerance"):
+            raise ValueError(f"rank_method must be 'gap' or 'tolerance', got {self.rank_method!r}")
+        if self.rank_tolerance <= 0:
+            raise ValueError("rank_tolerance must be positive")
+        if self.order is not None and self.order < 1:
+            raise ValueError("order must be a positive integer when given")
+        if self.real_output and not self.include_conjugates:
+            raise ValueError("real_output requires include_conjugates=True")
+
+
+@dataclass(frozen=True)
+class MftiOptions(InterpolationOptions):
+    """Options of the matrix-format front-end (Algorithm 1).
+
+    Attributes
+    ----------
+    block_size:
+        The tangential block size ``t_i``.  ``None`` uses the full
+        ``min(m, p)`` (all matrix information, Lemma 3.1); an integer applies
+        the same ``t`` to every sample; a sequence assigns one ``t_i`` per
+        sampled frequency, which is how the paper weights ill-conditioned
+        samples ("weight 1" / "weight 2" in Table 1 Test 2).
+    direction_kind:
+        ``"identity"`` (deterministic, cycling identity columns) or
+        ``"random"`` (random orthonormal matrices).
+    direction_seed:
+        Seed for the random directions.
+    """
+
+    block_size: Union[None, int, Sequence[int]] = None
+    direction_kind: str = "identity"
+    direction_seed: RandomState = None
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.direction_kind not in ("identity", "random"):
+            raise ValueError(
+                f"direction_kind must be 'identity' or 'random', got {self.direction_kind!r}"
+            )
+        if isinstance(self.block_size, int) and self.block_size < 1:
+            raise ValueError("block_size must be >= 1")
+
+
+@dataclass(frozen=True)
+class VftiOptions(InterpolationOptions):
+    """Options of the vector-format baseline.
+
+    Attributes
+    ----------
+    direction_start:
+        Index of the port the cycling unit-vector directions start from.
+    """
+
+    direction_start: int = 0
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.direction_start < 0:
+            raise ValueError("direction_start must be non-negative")
+
+
+@dataclass(frozen=True)
+class RecursiveOptions(MftiOptions):
+    """Options of the recursive algorithm (Algorithm 2).
+
+    Attributes
+    ----------
+    samples_per_iteration:
+        ``k0`` of the paper: how many sample pairs are added per iteration.
+    initial_samples:
+        Number of sample pairs used for the very first model (defaults to
+        ``samples_per_iteration``).
+    error_threshold:
+        ``Th`` of the paper: the loop stops once the mean hold-out tangential
+        error drops below this value.
+    relative_error:
+        Normalise the hold-out error of each sample by the norm of its
+        tangential data (so ``error_threshold`` is a relative quantity).
+    selection:
+        Which held-out samples to add next: ``"worst"`` (largest hold-out
+        error, the active-learning choice) or ``"spread"`` (keep following the
+        strided frequency pattern regardless of error).
+    max_iterations:
+        Safety cap on the number of refinement iterations.
+    """
+
+    samples_per_iteration: int = 4
+    initial_samples: Optional[int] = None
+    error_threshold: float = 1e-2
+    relative_error: bool = True
+    selection: str = "worst"
+    max_iterations: int = 100
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.samples_per_iteration < 1:
+            raise ValueError("samples_per_iteration must be >= 1")
+        if self.initial_samples is not None and self.initial_samples < 1:
+            raise ValueError("initial_samples must be >= 1 when given")
+        if self.error_threshold < 0:
+            raise ValueError("error_threshold must be non-negative")
+        if self.selection not in ("worst", "spread"):
+            raise ValueError(f"selection must be 'worst' or 'spread', got {self.selection!r}")
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")

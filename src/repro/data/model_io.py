@@ -1,0 +1,92 @@
+"""Saving and loading recovered macromodels.
+
+Macromodels are typically identified once and then reused by many downstream
+simulations, so the library provides a small persistence layer: a descriptor
+system (or the system inside a :class:`~repro.core.results.MacromodelResult`)
+is stored as a single ``.npz`` archive containing the five state-space
+matrices plus a little metadata, and loaded back into a
+:class:`~repro.systems.statespace.DescriptorSystem`.
+
+The format is deliberately plain numpy so the files remain readable from any
+environment (MATLAB, Julia, plain numpy scripts) without this package.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.systems.statespace import DescriptorSystem
+
+__all__ = ["save_model", "load_model"]
+
+#: Format tag written into every archive so future revisions can stay compatible.
+_FORMAT_VERSION = 1
+
+
+def save_model(model, destination: Union[str, os.PathLike], *, label: str = "") -> str:
+    """Save a descriptor system (or macromodel result) to a ``.npz`` archive.
+
+    Parameters
+    ----------
+    model:
+        A :class:`~repro.systems.statespace.DescriptorSystem` or any object
+        with a ``system`` attribute holding one (e.g. a
+        :class:`~repro.core.results.MacromodelResult`).
+    destination:
+        Target path; a ``.npz`` suffix is appended when missing.
+    label:
+        Optional free-form description stored alongside the matrices.
+
+    Returns
+    -------
+    str
+        The path actually written.
+    """
+    system = getattr(model, "system", model)
+    if not isinstance(system, DescriptorSystem):
+        raise TypeError(
+            "model must be a DescriptorSystem or carry one in its 'system' attribute, "
+            f"got {type(model).__name__}"
+        )
+    path = os.fspath(destination)
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    np.savez(
+        path,
+        E=np.asarray(system.E),
+        A=np.asarray(system.A),
+        B=np.asarray(system.B),
+        C=np.asarray(system.C),
+        D=np.asarray(system.D),
+        label=np.asarray(str(label)),
+        format_version=np.asarray(_FORMAT_VERSION),
+    )
+    return path
+
+
+def load_model(source: Union[str, os.PathLike]) -> DescriptorSystem:
+    """Load a descriptor system previously written by :func:`save_model`.
+
+    Raises
+    ------
+    ValueError
+        If the archive does not contain the expected matrices (i.e. it was not
+        produced by :func:`save_model` or is from an incompatible future
+        format version).
+    """
+    path = os.fspath(source)
+    with np.load(path, allow_pickle=False) as archive:
+        missing = {"E", "A", "B", "C", "D"} - set(archive.files)
+        if missing:
+            raise ValueError(f"model archive {path!r} is missing matrices: {sorted(missing)}")
+        version = int(archive["format_version"]) if "format_version" in archive.files else 1
+        if version > _FORMAT_VERSION:
+            raise ValueError(
+                f"model archive {path!r} uses format version {version}, "
+                f"this library supports up to {_FORMAT_VERSION}"
+            )
+        return DescriptorSystem(archive["E"], archive["A"], archive["B"], archive["C"],
+                                archive["D"])

@@ -1,0 +1,64 @@
+"""Measurement-noise models.
+
+The paper's Table 1 concerns "interpolation of noisy data": real measurements
+of scattering parameters carry additive complex noise from the VNA, plus
+calibration drift.  This module provides a simple but controllable model --
+complex Gaussian noise whose standard deviation is specified either relative
+to the RMS magnitude of the data (so results are comparable across workloads)
+or via a signal-to-noise ratio in dB.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import FrequencyData
+from repro.utils.rng import RandomState, ensure_rng
+
+__all__ = ["snr_to_sigma", "add_measurement_noise"]
+
+
+def snr_to_sigma(samples: np.ndarray, snr_db: float) -> float:
+    """Noise standard deviation achieving the requested SNR (dB) relative to the data RMS."""
+    samples = np.asarray(samples)
+    rms = float(np.sqrt(np.mean(np.abs(samples) ** 2)))
+    return rms * 10.0 ** (-snr_db / 20.0)
+
+
+def add_measurement_noise(
+    data: FrequencyData,
+    *,
+    relative_level: float | None = None,
+    snr_db: float | None = None,
+    seed: RandomState = None,
+) -> FrequencyData:
+    """Add complex Gaussian measurement noise to every sample entry.
+
+    Exactly one of ``relative_level`` or ``snr_db`` must be given:
+
+    * ``relative_level`` -- noise sigma as a fraction of the RMS magnitude of
+      the data (e.g. ``0.01`` for 1 % noise),
+    * ``snr_db`` -- desired signal-to-noise ratio in dB.
+
+    The real and imaginary parts of each entry receive independent Gaussian
+    perturbations of standard deviation ``sigma / sqrt(2)`` so the complex
+    noise power equals ``sigma**2``.
+    """
+    if (relative_level is None) == (snr_db is None):
+        raise ValueError("specify exactly one of relative_level or snr_db")
+    if relative_level is not None:
+        if relative_level < 0:
+            raise ValueError("relative_level must be non-negative")
+        rms = float(np.sqrt(np.mean(np.abs(data.samples) ** 2)))
+        sigma = relative_level * rms
+    else:
+        sigma = snr_to_sigma(data.samples, float(snr_db))
+    if sigma == 0.0:
+        return data
+    rng = ensure_rng(seed)
+    shape = data.samples.shape
+    noise = (rng.normal(scale=sigma / np.sqrt(2.0), size=shape)
+             + 1j * rng.normal(scale=sigma / np.sqrt(2.0), size=shape))
+    noisy = data.samples + noise
+    label = f"{data.label} + noise" if data.label else "noisy"
+    return data.with_samples(noisy, label=label)

@@ -1,0 +1,93 @@
+"""Sampling systems into :class:`~repro.data.dataset.FrequencyData`.
+
+These helpers play the role of the "measurement / EM simulation" step in the
+paper's pipeline: they evaluate a reference system's transfer function along a
+frequency grid and package the result (optionally converting between network
+parameters first) so the interpolation algorithms can treat the output exactly
+like externally measured data.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.data.dataset import FrequencyData
+from repro.systems.statespace import DescriptorSystem
+from repro.utils.validation import ensure_1d
+
+__all__ = ["sample_system", "sample_scattering", "sample_impedance", "sample_admittance"]
+
+
+def sample_system(
+    system: DescriptorSystem,
+    frequencies_hz: np.ndarray,
+    *,
+    kind: str = "H",
+    reference_impedance: float = 50.0,
+    label: str = "",
+) -> FrequencyData:
+    """Evaluate ``system`` at the given frequencies and wrap the result.
+
+    The system's transfer function is used verbatim (no parameter
+    conversion); ``kind`` only labels what those samples represent.
+    """
+    freqs = ensure_1d(frequencies_hz, "frequencies_hz", dtype=float)
+    samples = system.frequency_response(freqs)
+    return FrequencyData(freqs, samples, kind=kind,
+                         reference_impedance=reference_impedance, label=label)
+
+
+def sample_scattering(
+    system: DescriptorSystem,
+    frequencies_hz: np.ndarray,
+    *,
+    system_kind: str = "S",
+    reference_impedance: float = 50.0,
+    label: str = "",
+) -> FrequencyData:
+    """Sample a system and return scattering-parameter data.
+
+    Parameters
+    ----------
+    system:
+        The reference model.
+    frequencies_hz:
+        Sample frequencies in Hz.
+    system_kind:
+        What the system's transfer function represents: ``"S"`` (already
+        scattering -- no conversion), ``"Z"`` (impedance, converted pointwise)
+        or ``"Y"`` (admittance, converted pointwise).
+    reference_impedance:
+        Reference impedance used in the conversion.
+    label:
+        Label stored on the resulting data set.
+    """
+    if system_kind not in ("S", "Z", "Y"):
+        raise ValueError(f"system_kind must be 'S', 'Z' or 'Y', got {system_kind!r}")
+    raw = sample_system(system, frequencies_hz, kind=system_kind,
+                        reference_impedance=reference_impedance, label=label)
+    if system_kind == "S":
+        return raw
+    return raw.converted("S", z0=reference_impedance)
+
+
+def sample_impedance(
+    system: DescriptorSystem,
+    frequencies_hz: np.ndarray,
+    *,
+    label: str = "",
+) -> FrequencyData:
+    """Sample a system whose transfer function is an impedance matrix ``Z(s)``."""
+    return sample_system(system, frequencies_hz, kind="Z", label=label)
+
+
+def sample_admittance(
+    system: DescriptorSystem,
+    frequencies_hz: np.ndarray,
+    *,
+    label: str = "",
+) -> FrequencyData:
+    """Sample a system whose transfer function is an admittance matrix ``Y(s)``."""
+    return sample_system(system, frequencies_hz, kind="Y", label=label)

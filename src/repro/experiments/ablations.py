@@ -1,0 +1,155 @@
+"""Ablations over the design choices of MFTI.
+
+The paper motivates three knobs without sweeping them exhaustively; these
+drivers produce the corresponding ablation tables:
+
+* **block size / weighting** -- how accuracy, model size and runtime move as
+  ``t_i`` grows from 1 (which *is* VFTI) to ``min(m, p)`` (full matrix
+  interpolation),
+* **SVD realization** -- the paper's single-pencil SVD versus the two-sided
+  ``[L, sL]`` / ``[L; sL]`` projection, and the effect of the shift ``x0``,
+* **recursive parameters** -- the block of samples added per iteration
+  (``k0``) and the stopping threshold (``Th``) of Algorithm 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core import mfti, recursive_mfti
+from repro.core.options import MftiOptions, RecursiveOptions
+from repro.data.dataset import FrequencyData
+
+__all__ = [
+    "AblationRow",
+    "weighting_ablation",
+    "svd_mode_ablation",
+    "recursive_parameter_ablation",
+]
+
+
+@dataclass(frozen=True)
+class AblationRow:
+    """One configuration of an ablation sweep.
+
+    Attributes
+    ----------
+    setting:
+        Human-readable description of the swept configuration.
+    order:
+        Order of the recovered model.
+    time_seconds:
+        Wall-clock time of the run.
+    error:
+        Aggregate (``ERR``) error against the supplied reference data.
+    extra:
+        Sweep-specific detail (e.g. number of recursive iterations).
+    """
+
+    setting: str
+    order: int
+    time_seconds: float
+    error: float
+    extra: float = float("nan")
+
+
+def weighting_ablation(
+    data: FrequencyData,
+    reference: FrequencyData,
+    *,
+    block_sizes: Optional[Sequence[int]] = None,
+    rank_tolerance: float = 1e-5,
+) -> list[AblationRow]:
+    """Sweep the tangential block size ``t`` from 1 to ``min(m, p)``."""
+    max_block = min(data.n_inputs, data.n_outputs)
+    sizes = list(block_sizes) if block_sizes is not None else list(range(1, max_block + 1))
+    rows = []
+    for t in sizes:
+        options = MftiOptions(block_size=int(t), rank_method="tolerance",
+                              rank_tolerance=rank_tolerance)
+        result = mfti(data, options=options)
+        rows.append(AblationRow(
+            setting=f"t={t}",
+            order=result.order,
+            time_seconds=result.elapsed_seconds,
+            error=result.aggregate_error(reference),
+        ))
+    return rows
+
+
+def svd_mode_ablation(
+    data: FrequencyData,
+    reference: FrequencyData,
+    *,
+    block_size: Optional[int] = None,
+    rank_tolerance: float = 1e-9,
+) -> list[AblationRow]:
+    """Compare the pencil-SVD of Algorithm 1 against the two-sided projection.
+
+    The pencil mode is run for several choices of the shift ``x0`` (first right
+    point, first left point, largest sample point) because the paper leaves
+    that choice open.
+    """
+    rows = []
+    two_sided = MftiOptions(block_size=block_size, svd_mode="two-sided",
+                            rank_tolerance=rank_tolerance)
+    result = mfti(data, options=two_sided)
+    rows.append(AblationRow(
+        setting="two-sided [L sL]/[L; sL]",
+        order=result.order,
+        time_seconds=result.elapsed_seconds,
+        error=result.aggregate_error(reference),
+    ))
+
+    omegas = 2.0 * np.pi * data.frequencies_hz
+    shifts = {
+        "pencil, x0 = j*w_first": 1j * omegas[0],
+        "pencil, x0 = j*w_mid": 1j * omegas[len(omegas) // 2],
+        "pencil, x0 = j*w_last": 1j * omegas[-1],
+    }
+    for label, x0 in shifts.items():
+        options = MftiOptions(block_size=block_size, svd_mode="pencil", x0=complex(x0),
+                              real_output=False, rank_tolerance=rank_tolerance)
+        result = mfti(data, options=options)
+        rows.append(AblationRow(
+            setting=label,
+            order=result.order,
+            time_seconds=result.elapsed_seconds,
+            error=result.aggregate_error(reference),
+        ))
+    return rows
+
+
+def recursive_parameter_ablation(
+    data: FrequencyData,
+    reference: FrequencyData,
+    *,
+    samples_per_iteration: Sequence[int] = (2, 4, 8),
+    thresholds: Sequence[float] = (1e-1, 1e-2, 1e-3),
+    block_size: int = 2,
+    rank_tolerance: float = 1e-5,
+) -> list[AblationRow]:
+    """Sweep ``k0`` and ``Th`` of the recursive Algorithm 2."""
+    rows = []
+    for k0 in samples_per_iteration:
+        for threshold in thresholds:
+            options = RecursiveOptions(
+                block_size=block_size,
+                samples_per_iteration=int(k0),
+                error_threshold=float(threshold),
+                rank_method="tolerance",
+                rank_tolerance=rank_tolerance,
+            )
+            result = recursive_mfti(data, options=options)
+            recursion = result.metadata["recursion"]
+            rows.append(AblationRow(
+                setting=f"k0={k0}, Th={threshold:g}",
+                order=result.order,
+                time_seconds=result.elapsed_seconds,
+                error=result.aggregate_error(reference),
+                extra=float(recursion.n_iterations),
+            ))
+    return rows

@@ -1,0 +1,80 @@
+"""Plain-text reporting helpers shared by benchmarks and example scripts.
+
+Everything in the reproduction is reported as text (aligned tables and simple
+``x y1 y2 ...`` series dumps) so results can be inspected without any plotting
+dependency and diffed between runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "format_series"]
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        magnitude = abs(value)
+        if 1e-3 <= magnitude < 1e4:
+            return f"{value:.4g}"
+        return f"{value:.3e}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence], *, title: str = "") -> str:
+    """Render an aligned plain-text table.
+
+    Parameters
+    ----------
+    headers:
+        Column headers.
+    rows:
+        Iterable of rows; each row must have one entry per header.  Floats are
+        formatted compactly (4 significant digits, scientific notation outside
+        a readable range).
+    title:
+        Optional title line printed above the table.
+    """
+    headers = [str(h) for h in headers]
+    text_rows = []
+    for row in rows:
+        row = list(row)
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} entries but there are {len(headers)} headers"
+            )
+        text_rows.append([_format_cell(v) for v in row])
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(x, series: dict[str, np.ndarray], *, x_label: str = "x", title: str = "") -> str:
+    """Render one or more series sharing an x axis as aligned text columns.
+
+    Used to dump the Fig. 1 singular-value profiles and the Fig. 2 Bode curves
+    in a form that can be plotted externally or compared numerically.
+    """
+    x = np.asarray(x)
+    headers = [x_label] + list(series)
+    rows = []
+    for i in range(x.size):
+        row = [float(x[i])]
+        for name in series:
+            values = np.asarray(series[name])
+            row.append(float(values[i]) if i < values.size else float("nan"))
+        rows.append(row)
+    return format_table(headers, rows, title=title)

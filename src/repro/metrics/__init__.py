@@ -1,0 +1,25 @@
+"""Error metrics and model-validation helpers.
+
+The paper compares algorithms with a per-frequency relative matrix error and
+the aggregate ``ERR`` defined in Section 5; this package implements those
+exact metrics plus a few standard extras (worst-case error, RMS entrywise
+error) and a one-call validation routine that evaluates a recovered model
+against a reference data set.
+"""
+
+from repro.metrics.errors import (
+    aggregate_error,
+    entrywise_rms_error,
+    max_relative_error,
+    relative_error_per_frequency,
+)
+from repro.metrics.validation import ValidationReport, validate_model
+
+__all__ = [
+    "relative_error_per_frequency",
+    "aggregate_error",
+    "max_relative_error",
+    "entrywise_rms_error",
+    "ValidationReport",
+    "validate_model",
+]

@@ -1,0 +1,86 @@
+"""Error metrics matching the paper's definitions.
+
+Section 5 of the paper defines, for samples ``S(f_i)`` and a recovered model
+``H``,
+
+``err_i = || H(j 2 pi f_i) - S(f_i) ||_2 / || S(f_i) ||_2``
+
+(spectral-norm relative error per frequency) and the aggregate
+
+``ERR = || err ||_2 / sqrt(k)``
+
+which is the root-mean-square of the per-frequency relative errors.  Those two
+are what Table 1 reports; the helpers here compute them from either raw sample
+arrays or a model + reference-data pair.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import FrequencyData
+from repro.systems.statespace import DescriptorSystem
+
+__all__ = [
+    "relative_error_per_frequency",
+    "aggregate_error",
+    "max_relative_error",
+    "entrywise_rms_error",
+    "model_errors",
+]
+
+
+def _stack(samples) -> np.ndarray:
+    arr = np.asarray(samples, dtype=complex)
+    if arr.ndim == 2:
+        arr = arr[np.newaxis]
+    if arr.ndim != 3:
+        raise ValueError(f"samples must have shape (k, p, m), got {arr.shape}")
+    return arr
+
+
+def relative_error_per_frequency(model_samples, reference_samples) -> np.ndarray:
+    """Per-frequency spectral-norm relative error ``err_i`` (paper Section 5).
+
+    Frequencies where the reference matrix is exactly zero contribute the
+    absolute (un-normalised) error instead, so the result stays finite.
+    """
+    model = _stack(model_samples)
+    reference = _stack(reference_samples)
+    if model.shape != reference.shape:
+        raise ValueError(
+            f"model samples shape {model.shape} does not match reference {reference.shape}"
+        )
+    errors = np.empty(model.shape[0])
+    for i in range(model.shape[0]):
+        denom = np.linalg.norm(reference[i], 2)
+        num = np.linalg.norm(model[i] - reference[i], 2)
+        errors[i] = num if denom == 0.0 else num / denom
+    return errors
+
+
+def aggregate_error(model_samples, reference_samples) -> float:
+    """The paper's aggregate ``ERR = ||err||_2 / sqrt(k)`` (RMS of relative errors)."""
+    err = relative_error_per_frequency(model_samples, reference_samples)
+    return float(np.linalg.norm(err) / np.sqrt(err.size))
+
+
+def max_relative_error(model_samples, reference_samples) -> float:
+    """Worst per-frequency relative error over the sweep."""
+    err = relative_error_per_frequency(model_samples, reference_samples)
+    return float(np.max(err))
+
+
+def entrywise_rms_error(model_samples, reference_samples) -> float:
+    """RMS of the absolute entrywise differences (not normalised)."""
+    model = _stack(model_samples)
+    reference = _stack(reference_samples)
+    if model.shape != reference.shape:
+        raise ValueError("sample arrays must have identical shapes")
+    return float(np.sqrt(np.mean(np.abs(model - reference) ** 2)))
+
+
+def model_errors(model: DescriptorSystem, reference: FrequencyData) -> np.ndarray:
+    """Per-frequency relative errors of ``model`` against a reference data set."""
+    response = model.frequency_response(reference.frequencies_hz)
+    return relative_error_per_frequency(response, reference.samples)

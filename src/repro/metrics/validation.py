@@ -1,0 +1,85 @@
+"""One-call validation of a recovered macromodel against reference data."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import FrequencyData
+from repro.metrics.errors import relative_error_per_frequency
+from repro.systems.analysis import spectral_abscissa
+from repro.systems.statespace import DescriptorSystem
+
+__all__ = ["ValidationReport", "validate_model"]
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Summary of how well a model reproduces a reference data set.
+
+    Attributes
+    ----------
+    order:
+        State dimension of the validated model.
+    aggregate_error:
+        The paper's ``ERR`` metric (RMS of per-frequency relative errors).
+    max_error:
+        Worst per-frequency relative error.
+    per_frequency_error:
+        Full per-frequency relative error vector.
+    spectral_abscissa:
+        Largest real part among the model's finite poles (negative means
+        asymptotically stable).
+    """
+
+    order: int
+    aggregate_error: float
+    max_error: float
+    per_frequency_error: np.ndarray
+    spectral_abscissa: float
+
+    @property
+    def is_stable(self) -> bool:
+        """True when every finite pole has a strictly negative real part."""
+        return self.spectral_abscissa < 0.0
+
+    def summary(self) -> str:
+        """Single-line human-readable summary."""
+        stability = "stable" if self.is_stable else "UNSTABLE"
+        return (
+            f"order={self.order:4d}  ERR={self.aggregate_error:.3e}  "
+            f"max={self.max_error:.3e}  {stability}"
+        )
+
+
+def validate_model(
+    model: DescriptorSystem,
+    reference: FrequencyData,
+    *,
+    check_stability: bool = True,
+) -> ValidationReport:
+    """Evaluate ``model`` on the reference frequencies and summarise the errors.
+
+    Parameters
+    ----------
+    model:
+        The recovered macromodel.
+    reference:
+        The data set it should reproduce (e.g. a dense validation sweep of the
+        original system, or the measurement set itself).
+    check_stability:
+        When false, skip the (eigenvalue-decomposition) stability check and
+        report ``nan`` for the spectral abscissa -- useful in benchmarks where
+        only the error matters and the model is large.
+    """
+    response = model.frequency_response(reference.frequencies_hz)
+    errors = relative_error_per_frequency(response, reference.samples)
+    abscissa = spectral_abscissa(model) if check_stability else float("nan")
+    return ValidationReport(
+        order=model.order,
+        aggregate_error=float(np.linalg.norm(errors) / np.sqrt(errors.size)),
+        max_error=float(np.max(errors)),
+        per_frequency_error=errors,
+        spectral_abscissa=abscissa,
+    )

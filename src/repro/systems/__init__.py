@@ -1,0 +1,76 @@
+"""Descriptor-system / state-space substrate.
+
+This package implements the LTI modeling target of the paper (eq. 1):
+
+``E x'(t) = A x(t) + B u(t)``, ``y(t) = C x(t) + D u(t)``
+
+with possibly singular ``E`` (a *descriptor system*, DS).  It provides
+
+* :class:`~repro.systems.statespace.DescriptorSystem` -- the central model
+  class with transfer-function evaluation ``H(s) = C (sE - A)^{-1} B + D``,
+* system analysis (poles, stability, controllability/observability Gramians,
+  Hankel singular values) in :mod:`repro.systems.analysis`,
+* balanced truncation for reference reductions in :mod:`repro.systems.balanced`,
+* time-domain simulation in :mod:`repro.systems.timedomain`,
+* network-parameter conversions (impedance / admittance / scattering) in
+  :mod:`repro.systems.interconnect`,
+* system interconnection (series / parallel / feedback) in
+  :mod:`repro.systems.composition`,
+* generators of random benchmark systems (e.g. the order-150, 30-port system
+  of the paper's Example 1) in :mod:`repro.systems.random_systems`.
+"""
+
+from repro.systems.statespace import DescriptorSystem, StateSpace
+from repro.systems.analysis import (
+    controllability_gramian,
+    hankel_singular_values,
+    is_stable,
+    observability_gramian,
+    poles,
+    spectral_abscissa,
+)
+from repro.systems.balanced import balanced_truncation
+from repro.systems.composition import feedback, parallel, series
+from repro.systems.interconnect import (
+    s_to_y,
+    s_to_z,
+    scattering_from_admittance,
+    scattering_from_impedance,
+    y_to_s,
+    z_to_s,
+)
+from repro.systems.random_systems import (
+    example1_system,
+    random_descriptor_system,
+    random_port_map,
+    random_stable_system,
+)
+from repro.systems.timedomain import impulse_response, simulate_lsim, step_response
+
+__all__ = [
+    "DescriptorSystem",
+    "StateSpace",
+    "controllability_gramian",
+    "observability_gramian",
+    "hankel_singular_values",
+    "poles",
+    "spectral_abscissa",
+    "is_stable",
+    "balanced_truncation",
+    "series",
+    "parallel",
+    "feedback",
+    "s_to_y",
+    "s_to_z",
+    "y_to_s",
+    "z_to_s",
+    "scattering_from_impedance",
+    "scattering_from_admittance",
+    "random_stable_system",
+    "random_descriptor_system",
+    "random_port_map",
+    "example1_system",
+    "impulse_response",
+    "step_response",
+    "simulate_lsim",
+]

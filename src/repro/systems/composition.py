@@ -1,0 +1,85 @@
+"""Interconnection of descriptor systems: series, parallel and feedback.
+
+The experiments occasionally need composite reference models (for example a
+package model cascaded with an on-board network, or a plant with termination
+feedback).  These constructions keep everything in descriptor form so the
+result can be sampled and interpolated exactly like any other system.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.systems.statespace import DescriptorSystem
+from repro.utils.linalg import block_diag
+
+__all__ = ["series", "parallel", "feedback"]
+
+
+def series(first: DescriptorSystem, second: DescriptorSystem) -> DescriptorSystem:
+    """Cascade two systems: output of ``first`` feeds the input of ``second``.
+
+    The resulting transfer function is ``H(s) = H_second(s) @ H_first(s)``.
+    """
+    if first.n_outputs != second.n_inputs:
+        raise ValueError(
+            "series connection requires first.n_outputs == second.n_inputs, "
+            f"got {first.n_outputs} and {second.n_inputs}"
+        )
+    n1, n2 = first.order, second.order
+    e = block_diag([first.E, second.E])
+    a = block_diag([first.A, second.A])
+    a[n1:, :n1] = second.B @ first.C
+    b = np.vstack([first.B, second.B @ first.D])
+    c = np.hstack([second.D @ first.C, second.C])
+    d = second.D @ first.D
+    return DescriptorSystem(e, a, b, c, d)
+
+
+def parallel(first: DescriptorSystem, second: DescriptorSystem) -> DescriptorSystem:
+    """Sum of two systems sharing inputs and outputs: ``H = H_first + H_second``."""
+    if first.n_inputs != second.n_inputs or first.n_outputs != second.n_outputs:
+        raise ValueError("parallel connection requires matching input/output dimensions")
+    e = block_diag([first.E, second.E])
+    a = block_diag([first.A, second.A])
+    b = np.vstack([first.B, second.B])
+    c = np.hstack([first.C, second.C])
+    d = first.D + second.D
+    return DescriptorSystem(e, a, b, c, d)
+
+
+def feedback(plant: DescriptorSystem, controller: DescriptorSystem, *, sign: float = -1.0) -> DescriptorSystem:
+    """Close a feedback loop ``u = r + sign * H_controller(y)`` around ``plant``.
+
+    With the default ``sign = -1`` this is standard negative feedback and the
+    closed-loop transfer function from ``r`` to ``y`` is
+    ``(I - sign * H_p H_c)^{-1} H_p``.
+
+    Both feed-through matrices must make ``I - sign * D_p D_c`` invertible.
+    """
+    if plant.n_inputs != controller.n_outputs or plant.n_outputs != controller.n_inputs:
+        raise ValueError("feedback requires plant and controller with compatible port counts")
+    dp, dc = plant.D, controller.D
+    eye = np.eye(plant.n_inputs)
+    gamma = eye - sign * dc @ dp
+    try:
+        gamma_inv = np.linalg.inv(gamma)
+    except np.linalg.LinAlgError as exc:  # pragma: no cover - defensive
+        raise ValueError("algebraic loop: I - sign*Dc*Dp is singular") from exc
+
+    n_p, n_c = plant.order, controller.order
+    e = block_diag([plant.E, controller.E])
+    a = block_diag([plant.A, controller.A])
+    # plant input: u = r + sign * (Cc xc + Dc y); y = Cp xp + Dp u
+    # => u = gamma_inv (r + sign Cc xc + sign Dc Cp xp)
+    bp, bc = plant.B, controller.B
+    cp, cc = plant.C, controller.C
+    a[:n_p, :n_p] += sign * bp @ gamma_inv @ dc @ cp
+    a[:n_p, n_p:] = sign * bp @ gamma_inv @ cc
+    a[n_p:, :n_p] = bc @ (np.eye(plant.n_outputs) + sign * dp @ gamma_inv @ dc) @ cp
+    a[n_p:, n_p:] += sign * bc @ dp @ gamma_inv @ cc
+    b = np.vstack([bp @ gamma_inv, bc @ dp @ gamma_inv])
+    c = np.hstack([(np.eye(plant.n_outputs) + sign * dp @ gamma_inv @ dc) @ cp,
+                   sign * dp @ gamma_inv @ cc])
+    d = dp @ gamma_inv
+    return DescriptorSystem(e, a, b, c, d)

@@ -1,0 +1,307 @@
+"""Descriptor-system and state-space model classes.
+
+The class hierarchy is intentionally small:
+
+* :class:`DescriptorSystem` holds the quintuple ``(E, A, B, C, D)`` of eq. (1)
+  of the paper and knows how to evaluate its transfer function
+  ``H(s) = C (sE - A)^{-1} B + D`` at scalar points, along a frequency grid,
+  and at matrices of points.  ``E`` may be singular -- that is precisely the
+  form the Loewner framework produces.
+* :class:`StateSpace` is the convenience subclass with ``E = I`` (a standard
+  state-space model), used by the vector-fitting baseline and the circuit
+  substrate when the mass matrix happens to be invertible.
+
+Both classes are immutable value objects: all matrices are copied and
+read-only, which makes them safe to share between experiments and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.utils.validation import check_finite, ensure_2d
+
+__all__ = ["DescriptorSystem", "StateSpace"]
+
+
+def _as_readonly(array: np.ndarray) -> np.ndarray:
+    out = np.array(array, copy=True)
+    out.setflags(write=False)
+    return out
+
+
+class DescriptorSystem:
+    """Linear time-invariant descriptor system ``E x' = A x + B u``, ``y = C x + D u``.
+
+    Parameters
+    ----------
+    E, A:
+        Square ``n x n`` matrices.  ``E`` may be singular.
+    B:
+        ``n x m`` input matrix.
+    C:
+        ``p x n`` output matrix.
+    D:
+        Optional ``p x m`` feed-through matrix; defaults to zero.
+
+    Notes
+    -----
+    The matrices may be real or complex.  Models recovered by the Loewner
+    interpolation core are complex before the real transform of Lemma 3.2 and
+    real afterwards; both are represented by this class.
+    """
+
+    def __init__(self, E, A, B, C, D=None):
+        A = ensure_2d(A, "A")
+        n = A.shape[0]
+        if A.shape[0] != A.shape[1]:
+            raise ValueError(f"A must be square, got shape {A.shape}")
+        if E is None:
+            E = np.eye(n)
+        E = ensure_2d(E, "E")
+        if E.shape != A.shape:
+            raise ValueError(f"E shape {E.shape} must match A shape {A.shape}")
+        B = ensure_2d(B, "B")
+        if B.ndim == 2 and B.shape[0] != n and B.shape[1] == n and B.shape[0] != n:
+            raise ValueError(f"B must have {n} rows, got shape {B.shape}")
+        if B.shape[0] != n:
+            raise ValueError(f"B must have {n} rows, got shape {B.shape}")
+        C = ensure_2d(C, "C")
+        if C.shape[1] != n:
+            raise ValueError(f"C must have {n} columns, got shape {C.shape}")
+        p, m = C.shape[0], B.shape[1]
+        if D is None:
+            D = np.zeros((p, m))
+        D = ensure_2d(D, "D")
+        if D.shape != (p, m):
+            raise ValueError(f"D must have shape {(p, m)}, got {D.shape}")
+        for name, mat in (("E", E), ("A", A), ("B", B), ("C", C), ("D", D)):
+            check_finite(mat, name)
+        self._E = _as_readonly(E)
+        self._A = _as_readonly(A)
+        self._B = _as_readonly(B)
+        self._C = _as_readonly(C)
+        self._D = _as_readonly(D)
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def E(self) -> np.ndarray:
+        """Descriptor (mass) matrix ``E``."""
+        return self._E
+
+    @property
+    def A(self) -> np.ndarray:
+        """State matrix ``A``."""
+        return self._A
+
+    @property
+    def B(self) -> np.ndarray:
+        """Input matrix ``B``."""
+        return self._B
+
+    @property
+    def C(self) -> np.ndarray:
+        """Output matrix ``C``."""
+        return self._C
+
+    @property
+    def D(self) -> np.ndarray:
+        """Feed-through matrix ``D``."""
+        return self._D
+
+    @property
+    def order(self) -> int:
+        """State dimension ``n`` (the size of ``A``)."""
+        return self._A.shape[0]
+
+    @property
+    def n_inputs(self) -> int:
+        """Number of inputs ``m``."""
+        return self._B.shape[1]
+
+    @property
+    def n_outputs(self) -> int:
+        """Number of outputs ``p``."""
+        return self._C.shape[0]
+
+    @property
+    def n_ports(self) -> int:
+        """Number of ports for square systems; raises when ``m != p``."""
+        if self.n_inputs != self.n_outputs:
+            raise ValueError(
+                "n_ports is only defined for square systems "
+                f"(m={self.n_inputs}, p={self.n_outputs})"
+            )
+        return self.n_inputs
+
+    @property
+    def is_real(self) -> bool:
+        """True when every system matrix is (numerically) real-valued."""
+        return not any(
+            np.iscomplexobj(mat) and np.max(np.abs(mat.imag)) > 0
+            for mat in (self._E, self._A, self._B, self._C, self._D)
+        )
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(p, m)`` -- the shape of the transfer-function matrix."""
+        return (self.n_outputs, self.n_inputs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "real" if self.is_real else "complex"
+        return (
+            f"{type(self).__name__}(order={self.order}, inputs={self.n_inputs}, "
+            f"outputs={self.n_outputs}, {kind})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # transfer-function evaluation
+    # ------------------------------------------------------------------ #
+    def transfer_function(self, s: complex) -> np.ndarray:
+        """Evaluate ``H(s) = C (sE - A)^{-1} B + D`` at a single complex point."""
+        s = complex(s)
+        pencil = s * self._E - self._A
+        try:
+            x = np.linalg.solve(pencil, self._B.astype(complex))
+        except np.linalg.LinAlgError:
+            x = np.linalg.lstsq(pencil, self._B.astype(complex), rcond=None)[0]
+        return self._C @ x + self._D
+
+    def __call__(self, s: complex) -> np.ndarray:
+        """Alias for :meth:`transfer_function`."""
+        return self.transfer_function(s)
+
+    def frequency_response(self, frequencies_hz: Iterable[float]) -> np.ndarray:
+        """Evaluate the transfer function at ``s = j 2 pi f`` for every frequency.
+
+        Parameters
+        ----------
+        frequencies_hz:
+            Iterable of frequencies in Hz.
+
+        Returns
+        -------
+        numpy.ndarray
+            Array of shape ``(k, p, m)`` with ``H(j 2 pi f_i)`` stacked along
+            the first axis.
+        """
+        freqs = np.asarray(list(frequencies_hz), dtype=float)
+        response = np.empty((freqs.size, self.n_outputs, self.n_inputs), dtype=complex)
+        for i, f in enumerate(freqs):
+            response[i] = self.transfer_function(1j * 2.0 * np.pi * f)
+        return response
+
+    def evaluate_many(self, points: Iterable[complex]) -> np.ndarray:
+        """Evaluate the transfer function at arbitrary complex points.
+
+        Unlike :meth:`frequency_response` the points are used verbatim (no
+        ``j 2 pi f`` mapping), which is what the interpolation core needs when
+        it works with the ``lambda_i`` / ``mu_i`` sample points directly.
+        """
+        pts = np.asarray(list(points), dtype=complex)
+        response = np.empty((pts.size, self.n_outputs, self.n_inputs), dtype=complex)
+        for i, s in enumerate(pts):
+            response[i] = self.transfer_function(s)
+        return response
+
+    def dc_gain(self) -> np.ndarray:
+        """Transfer function at ``s = 0`` (``-C A^{-1} B + D``)."""
+        return self.transfer_function(0.0)
+
+    # ------------------------------------------------------------------ #
+    # transformations
+    # ------------------------------------------------------------------ #
+    def to_real(self, *, rtol: float = 1e-8) -> "DescriptorSystem":
+        """Drop negligible imaginary parts and return a real-valued system.
+
+        Raises
+        ------
+        ValueError
+            If any matrix has an imaginary part larger than ``rtol`` times its
+            magnitude -- that indicates the model is genuinely complex (e.g.
+            the Loewner realization before the Lemma-3.2 transform) and cannot
+            be converted by simply truncating.
+        """
+        mats = []
+        for name, mat in (("E", self._E), ("A", self._A), ("B", self._B),
+                          ("C", self._C), ("D", self._D)):
+            if np.iscomplexobj(mat):
+                scale = np.max(np.abs(mat)) if mat.size else 0.0
+                if scale > 0 and np.max(np.abs(mat.imag)) > rtol * scale:
+                    raise ValueError(
+                        f"matrix {name} has significant imaginary part; "
+                        "apply the real transform (Lemma 3.2) before calling to_real()"
+                    )
+                mats.append(mat.real.copy())
+            else:
+                mats.append(mat.copy())
+        return DescriptorSystem(*mats)
+
+    def transformed(self, left: np.ndarray, right: np.ndarray) -> "DescriptorSystem":
+        """Apply a two-sided projection ``(left* E right, left* A right, left* B, C right)``.
+
+        This is the operation used both by the SVD realization of Lemma 3.4
+        and by reduction methods; ``D`` is left untouched.
+        """
+        left = ensure_2d(left, "left")
+        right = ensure_2d(right, "right")
+        lh = left.conj().T
+        return DescriptorSystem(
+            lh @ self._E @ right,
+            lh @ self._A @ right,
+            lh @ self._B,
+            self._C @ right,
+            self._D,
+        )
+
+    def with_feedthrough(self, D: np.ndarray) -> "DescriptorSystem":
+        """Return a copy of the system with the feed-through matrix replaced."""
+        return DescriptorSystem(self._E, self._A, self._B, self._C, D)
+
+    def to_statespace(self) -> "StateSpace":
+        """Convert to an explicit state-space model by inverting ``E``.
+
+        Raises
+        ------
+        numpy.linalg.LinAlgError
+            If ``E`` is singular; descriptor systems with singular ``E`` have
+            no explicit state-space form of the same order.
+        """
+        e_inv_a = np.linalg.solve(self._E, self._A)
+        e_inv_b = np.linalg.solve(self._E, self._B)
+        return StateSpace(e_inv_a, e_inv_b, self._C, self._D)
+
+    def copy(self) -> "DescriptorSystem":
+        """Return an independent copy of the system."""
+        return DescriptorSystem(self._E, self._A, self._B, self._C, self._D)
+
+    def subsystem(self, outputs: Optional[Iterable[int]] = None,
+                  inputs: Optional[Iterable[int]] = None) -> "DescriptorSystem":
+        """Select a subset of inputs/outputs (port sub-block of the transfer function)."""
+        out_idx = np.arange(self.n_outputs) if outputs is None else np.asarray(list(outputs), dtype=int)
+        in_idx = np.arange(self.n_inputs) if inputs is None else np.asarray(list(inputs), dtype=int)
+        return DescriptorSystem(
+            self._E,
+            self._A,
+            self._B[:, in_idx],
+            self._C[out_idx, :],
+            self._D[np.ix_(out_idx, in_idx)],
+        )
+
+
+class StateSpace(DescriptorSystem):
+    """Standard state-space model ``x' = A x + B u``, ``y = C x + D u`` (``E = I``)."""
+
+    def __init__(self, A, B, C, D=None):
+        A = ensure_2d(A, "A")
+        super().__init__(np.eye(A.shape[0]), A, B, C, D)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StateSpace(order={self.order}, inputs={self.n_inputs}, "
+            f"outputs={self.n_outputs})"
+        )

@@ -1,0 +1,95 @@
+"""Sampling-based passivity assessment of fitted macromodels.
+
+Macromodels of passive interconnect must themselves be passive if they are to
+be used safely in a transient circuit simulation.  A full Hamiltonian-based
+passivity test is outside the scope of this reproduction; instead we provide
+the pragmatic sweep-based checks that practitioners run first:
+
+* scattering representation: largest singular value of ``S(j w)`` must not
+  exceed one,
+* immittance (impedance/admittance) representation: the Hermitian part of
+  ``H(j w)`` must be positive semi-definite.
+
+Both checks evaluate a dense frequency sweep (optionally log-spaced well past
+the fitting band) and report the violations found.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PassivityViolation", "passivity_violations", "is_passive_scattering", "is_passive_immittance"]
+
+
+@dataclass(frozen=True)
+class PassivityViolation:
+    """A frequency at which the passivity condition is violated.
+
+    Attributes
+    ----------
+    frequency_hz:
+        The offending frequency.
+    metric:
+        The violating quantity: the largest singular value (scattering) or the
+        most negative eigenvalue of the Hermitian part (immittance).
+    """
+
+    frequency_hz: float
+    metric: float
+
+
+def _response(model, frequencies_hz: np.ndarray) -> np.ndarray:
+    return np.asarray(model.frequency_response(frequencies_hz))
+
+
+def passivity_violations(
+    model,
+    frequencies_hz,
+    *,
+    representation: str = "S",
+    tolerance: float = 1e-8,
+) -> list[PassivityViolation]:
+    """List the frequencies at which the model violates passivity.
+
+    Parameters
+    ----------
+    model:
+        Anything with a ``frequency_response(frequencies_hz)`` method
+        (descriptor systems, pole-residue models, macromodel results).
+    frequencies_hz:
+        The sweep to check.
+    representation:
+        ``"S"`` for scattering data (unit-disc condition) or ``"Z"``/``"Y"``
+        for immittance data (positive-real condition).
+    tolerance:
+        Violations smaller than this are ignored (numerical slack).
+    """
+    freqs = np.asarray(frequencies_hz, dtype=float).ravel()
+    response = _response(model, freqs)
+    violations: list[PassivityViolation] = []
+    if representation == "S":
+        for f, matrix in zip(freqs, response):
+            sigma_max = float(np.linalg.norm(matrix, 2))
+            if sigma_max > 1.0 + tolerance:
+                violations.append(PassivityViolation(float(f), sigma_max))
+    elif representation in ("Z", "Y"):
+        for f, matrix in zip(freqs, response):
+            herm = 0.5 * (matrix + matrix.conj().T)
+            min_eig = float(np.min(np.linalg.eigvalsh(herm)))
+            if min_eig < -tolerance:
+                violations.append(PassivityViolation(float(f), min_eig))
+    else:
+        raise ValueError(f"representation must be 'S', 'Z' or 'Y', got {representation!r}")
+    return violations
+
+
+def is_passive_scattering(model, frequencies_hz, *, tolerance: float = 1e-8) -> bool:
+    """True when ``sigma_max(S(j w)) <= 1`` at every checked frequency."""
+    return not passivity_violations(model, frequencies_hz, representation="S", tolerance=tolerance)
+
+
+def is_passive_immittance(model, frequencies_hz, *, tolerance: float = 1e-8) -> bool:
+    """True when the Hermitian part of ``H(j w)`` is PSD at every checked frequency."""
+    return not passivity_violations(model, frequencies_hz, representation="Z", tolerance=tolerance)

@@ -1,0 +1,72 @@
+"""Initial pole placement for vector fitting.
+
+Gustavsen & Semlyen recommend starting poles as lightly damped complex
+conjugate pairs whose imaginary parts are spread over the frequency band of
+the data, with real parts a fixed (small) fraction of the imaginary parts.
+Good starting poles matter mostly for convergence speed; the relocation
+iteration moves them to the correct positions regardless.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive_integer
+
+__all__ = ["initial_poles"]
+
+
+def initial_poles(
+    n_poles: int,
+    f_min_hz: float,
+    f_max_hz: float,
+    *,
+    damping_ratio: float = 0.01,
+    spacing: str = "linear",
+) -> np.ndarray:
+    """Generate starting poles spread over ``[f_min_hz, f_max_hz]``.
+
+    Parameters
+    ----------
+    n_poles:
+        Total number of poles.  An odd count gets one extra real pole at the
+        low end of the band; the rest are complex conjugate pairs (stored
+        adjacently, ``+j`` imaginary part first).
+    f_min_hz, f_max_hz:
+        Frequency band of the data.
+    damping_ratio:
+        Ratio ``|Re| / |Im|`` of the starting poles (Gustavsen's 1 %).
+    spacing:
+        ``"linear"`` or ``"log"`` spacing of the imaginary parts.
+
+    Returns
+    -------
+    numpy.ndarray
+        Complex array of length ``n_poles`` with conjugate pairs adjacent.
+    """
+    n_poles = check_positive_integer(n_poles, "n_poles")
+    if f_min_hz <= 0 or f_max_hz <= f_min_hz:
+        raise ValueError("require 0 < f_min_hz < f_max_hz")
+    if damping_ratio <= 0:
+        raise ValueError("damping_ratio must be positive")
+    if spacing not in ("linear", "log"):
+        raise ValueError(f"spacing must be 'linear' or 'log', got {spacing!r}")
+
+    n_pairs = n_poles // 2
+    has_real = n_poles % 2 == 1
+    w_min = 2.0 * np.pi * f_min_hz
+    w_max = 2.0 * np.pi * f_max_hz
+    if n_pairs:
+        if spacing == "linear":
+            omegas = np.linspace(w_min, w_max, n_pairs)
+        else:
+            omegas = np.logspace(np.log10(w_min), np.log10(w_max), n_pairs)
+    else:
+        omegas = np.zeros(0)
+    poles = []
+    if has_real:
+        poles.append(complex(-w_min, 0.0))
+    for omega in omegas:
+        poles.append(complex(-damping_ratio * omega, omega))
+        poles.append(complex(-damping_ratio * omega, -omega))
+    return np.asarray(poles, dtype=complex)

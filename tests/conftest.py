@@ -1,0 +1,74 @@
+"""Shared fixtures for the test-suite.
+
+All fixtures are deliberately small (low orders, few ports, few samples) so
+the suite stays fast; the full-scale paper settings are exercised only by the
+benchmarks.  Expensive fixtures are session-scoped and immutable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.pdn import PdnConfiguration, power_distribution_network
+from repro.data import linear_frequencies, log_frequencies, sample_scattering
+from repro.data.noise import add_measurement_noise
+from repro.systems.random_systems import random_stable_system
+
+
+@pytest.fixture(scope="session")
+def small_system():
+    """Order-20, 4-port stable system with feed-through (rank 4)."""
+    return random_stable_system(order=20, n_ports=4, feedthrough=0.1, seed=3)
+
+
+@pytest.fixture(scope="session")
+def siso_system():
+    """Order-6 single-port system."""
+    return random_stable_system(order=6, n_ports=1, feedthrough=0.2, seed=5)
+
+
+@pytest.fixture(scope="session")
+def medium_system():
+    """Order-40, 8-port system used by the heavier core tests."""
+    return random_stable_system(order=40, n_ports=8, feedthrough=0.05, seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_data(small_system):
+    """8 log-spaced scattering samples of the small system (enough for MFTI recovery)."""
+    freqs = log_frequencies(1e1, 1e5, 8)
+    return sample_scattering(small_system, freqs, label="small")
+
+
+@pytest.fixture(scope="session")
+def dense_data(small_system):
+    """Dense validation sweep of the small system."""
+    freqs = log_frequencies(1e1, 1e5, 60)
+    return sample_scattering(small_system, freqs, label="small dense")
+
+
+@pytest.fixture(scope="session")
+def noisy_data(small_data):
+    """The small data set with 0.1 % relative measurement noise."""
+    return add_measurement_noise(small_data, relative_level=1e-3, seed=17)
+
+
+@pytest.fixture(scope="session")
+def many_sample_data(small_system):
+    """24 log-spaced samples of the small system (over-sampled for MFTI)."""
+    freqs = log_frequencies(1e1, 1e5, 24)
+    return sample_scattering(small_system, freqs, label="small oversampled")
+
+
+@pytest.fixture(scope="session")
+def tiny_pdn_system():
+    """A small (4x4 grid, 4-port) PDN used by the circuit-level tests."""
+    config = PdnConfiguration(n_ports=4, grid_rows=4, grid_cols=4, n_decaps=4, n_bulk_caps=1)
+    return power_distribution_network(config)
+
+
+@pytest.fixture
+def rng():
+    """Fresh deterministic random generator per test."""
+    return np.random.default_rng(1234)

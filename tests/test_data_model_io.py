@@ -1,0 +1,50 @@
+"""Tests for macromodel persistence (:mod:`repro.data.model_io`)."""
+
+import numpy as np
+import pytest
+
+from repro.core import mfti
+from repro.data.model_io import load_model, save_model
+from repro.systems.statespace import DescriptorSystem
+
+
+class TestModelIo:
+    def test_roundtrip_descriptor_system(self, tmp_path, small_system):
+        path = save_model(small_system, tmp_path / "model")
+        assert path.endswith(".npz")
+        loaded = load_model(path)
+        assert isinstance(loaded, DescriptorSystem)
+        for name in ("E", "A", "B", "C", "D"):
+            assert np.allclose(getattr(loaded, name), getattr(small_system, name))
+
+    def test_roundtrip_preserves_transfer_function(self, tmp_path, small_system):
+        path = save_model(small_system, tmp_path / "model.npz")
+        loaded = load_model(path)
+        s = 1j * 2 * np.pi * 1234.0
+        assert np.allclose(loaded.transfer_function(s), small_system.transfer_function(s))
+
+    def test_macromodel_result_accepted(self, tmp_path, small_data, dense_data):
+        result = mfti(small_data)
+        path = save_model(result, tmp_path / "mfti_model", label="example")
+        loaded = load_model(path)
+        assert loaded.order == result.order
+        response = loaded.frequency_response(dense_data.frequencies_hz)
+        assert np.allclose(response, result.frequency_response(dense_data.frequencies_hz))
+
+    def test_invalid_model_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_model("not a system", tmp_path / "x")
+
+    def test_corrupt_archive_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, E=np.eye(2), A=-np.eye(2))  # missing B, C, D
+        with pytest.raises(ValueError, match="missing"):
+            load_model(path)
+
+    def test_future_format_rejected(self, tmp_path, small_system):
+        path = save_model(small_system, tmp_path / "model")
+        data = dict(np.load(path))
+        data["format_version"] = np.asarray(99)
+        np.savez(path, **data)
+        with pytest.raises(ValueError, match="format version"):
+            load_model(path)

@@ -1,0 +1,111 @@
+"""Tests for :mod:`repro.systems.analysis` and :mod:`repro.systems.balanced`."""
+
+import numpy as np
+import pytest
+
+from repro.systems.analysis import (
+    controllability_gramian,
+    finite_poles,
+    hankel_singular_values,
+    is_stable,
+    minimality_defect,
+    observability_gramian,
+    poles,
+    spectral_abscissa,
+)
+from repro.systems.balanced import balanced_truncation
+from repro.systems.statespace import DescriptorSystem, StateSpace
+
+
+@pytest.fixture
+def two_pole_system():
+    """Two real poles at -1 and -3."""
+    return StateSpace(np.diag([-1.0, -3.0]), [[1.0], [1.0]], [[1.0, 1.0]])
+
+
+class TestPoles:
+    def test_explicit_poles(self, two_pole_system):
+        p = np.sort(finite_poles(two_pole_system).real)
+        assert np.allclose(p, [-3.0, -1.0])
+
+    def test_descriptor_infinite_pole(self):
+        # singular E produces an infinite eigenvalue
+        e = np.diag([1.0, 0.0])
+        a = np.diag([-1.0, -1.0])
+        sys_ = DescriptorSystem(e, a, np.ones((2, 1)), np.ones((1, 2)))
+        all_poles = poles(sys_)
+        assert np.sum(np.isinf(all_poles)) == 1
+        assert np.allclose(finite_poles(sys_), [-1.0])
+
+    def test_random_system_is_stable(self, small_system):
+        assert is_stable(small_system)
+        assert spectral_abscissa(small_system) < 0
+
+    def test_spectral_abscissa_matches_max_real(self, two_pole_system):
+        assert spectral_abscissa(two_pole_system) == pytest.approx(-1.0)
+
+    def test_unstable_detected(self):
+        sys_ = StateSpace([[1.0]], [[1.0]], [[1.0]])
+        assert not is_stable(sys_)
+
+
+class TestGramians:
+    def test_controllability_lyapunov_residual(self, two_pole_system):
+        p = controllability_gramian(two_pole_system)
+        a, b = two_pole_system.A, two_pole_system.B
+        residual = a @ p + p @ a.T + b @ b.T
+        assert np.allclose(residual, 0.0, atol=1e-10)
+
+    def test_observability_lyapunov_residual(self, two_pole_system):
+        q = observability_gramian(two_pole_system)
+        a, c = two_pole_system.A, two_pole_system.C
+        residual = a.T @ q + q @ a + c.T @ c
+        assert np.allclose(residual, 0.0, atol=1e-10)
+
+    def test_gramian_requires_stability(self):
+        unstable = StateSpace([[1.0]], [[1.0]], [[1.0]])
+        with pytest.raises(ValueError):
+            controllability_gramian(unstable)
+        with pytest.raises(ValueError):
+            observability_gramian(unstable)
+
+    def test_hankel_singular_values_sorted(self, small_system):
+        hsv = hankel_singular_values(small_system)
+        assert hsv.size == small_system.order
+        assert np.all(np.diff(hsv) <= 1e-12)
+        assert np.all(hsv >= 0)
+
+    def test_minimality_defect_zero_for_minimal(self, two_pole_system):
+        assert minimality_defect(two_pole_system) == 0
+
+    def test_minimality_defect_detects_uncontrollable_state(self):
+        a = np.diag([-1.0, -2.0])
+        b = np.array([[1.0], [0.0]])  # second state uncontrollable
+        c = np.array([[1.0, 1.0]])
+        assert minimality_defect(StateSpace(a, b, c)) == 1
+
+
+class TestBalancedTruncation:
+    def test_reduces_order(self, small_system):
+        reduced = balanced_truncation(small_system, 8)
+        assert reduced.order == 8
+
+    def test_error_within_bound(self, small_system):
+        reduced, bound = balanced_truncation(small_system, 10, return_error_bound=True)
+        freqs = np.logspace(1, 5, 25)
+        full = small_system.frequency_response(freqs)
+        approx = reduced.frequency_response(freqs)
+        worst = max(np.linalg.norm(full[i] - approx[i], 2) for i in range(len(freqs)))
+        assert worst <= bound * (1.0 + 1e-6)
+
+    def test_full_order_is_near_exact(self, two_pole_system):
+        reduced = balanced_truncation(two_pole_system, 2)
+        s = 1j * 0.5
+        assert np.allclose(reduced.transfer_function(s), two_pole_system.transfer_function(s),
+                           atol=1e-8)
+
+    def test_invalid_order_rejected(self, two_pole_system):
+        with pytest.raises(ValueError):
+            balanced_truncation(two_pole_system, 0)
+        with pytest.raises(ValueError):
+            balanced_truncation(two_pole_system, 5)

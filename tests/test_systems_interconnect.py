@@ -1,0 +1,129 @@
+"""Tests for :mod:`repro.systems.interconnect` and :mod:`repro.systems.composition`."""
+
+import numpy as np
+import pytest
+
+from repro.systems.composition import feedback, parallel, series
+from repro.systems.interconnect import (
+    s_to_y,
+    s_to_z,
+    scattering_from_admittance,
+    scattering_from_impedance,
+    y_to_s,
+    y_to_z,
+    z_to_s,
+    z_to_y,
+)
+from repro.systems.random_systems import random_stable_system
+from repro.systems.statespace import StateSpace
+
+
+@pytest.fixture
+def z_sample(rng):
+    """A random passive-ish impedance matrix sample (diagonally dominant)."""
+    z = rng.normal(size=(3, 3)) + 1j * rng.normal(size=(3, 3))
+    return z + 10.0 * np.eye(3)
+
+
+class TestPointwiseConversions:
+    def test_z_s_roundtrip(self, z_sample):
+        assert np.allclose(s_to_z(z_to_s(z_sample)), z_sample)
+
+    def test_y_s_roundtrip(self, z_sample):
+        y = np.linalg.inv(z_sample)
+        assert np.allclose(s_to_y(y_to_s(y)), y)
+
+    def test_z_y_roundtrip(self, z_sample):
+        assert np.allclose(y_to_z(z_to_y(z_sample)), z_sample)
+
+    def test_consistency_z_vs_y_path(self, z_sample):
+        """Converting Z -> S directly equals converting Z -> Y -> S."""
+        assert np.allclose(z_to_s(z_sample), y_to_s(z_to_y(z_sample)))
+
+    def test_matched_load_gives_zero_reflection(self):
+        z = 50.0 * np.eye(2)
+        assert np.allclose(z_to_s(z, z0=50.0), 0.0)
+
+    def test_open_circuit_reflection(self):
+        # very large impedance -> reflection coefficient ~ +1
+        s = z_to_s(np.array([[1e12]]), z0=50.0)
+        assert s[0, 0] == pytest.approx(1.0, abs=1e-6)
+
+    def test_short_circuit_reflection(self):
+        s = z_to_s(np.array([[1e-9]]), z0=50.0)
+        assert s[0, 0] == pytest.approx(-1.0, abs=1e-6)
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(ValueError):
+            z_to_s(np.ones((2, 3)))
+
+
+class TestSystemLevelConversions:
+    def test_impedance_system_matches_pointwise(self):
+        z_system = random_stable_system(order=12, n_ports=3, feedthrough=None, seed=2)
+        # shift D so Z + z0 I is well conditioned
+        z_system = z_system.with_feedthrough(5.0 * np.eye(3))
+        s_system = scattering_from_impedance(z_system, z0=50.0)
+        for f in (1e2, 1e3, 1e4):
+            s_point = 1j * 2 * np.pi * f
+            expected = z_to_s(z_system.transfer_function(s_point), z0=50.0)
+            assert np.allclose(s_system.transfer_function(s_point), expected, atol=1e-9)
+
+    def test_admittance_system_matches_pointwise(self):
+        y_system = random_stable_system(order=10, n_ports=2, feedthrough=None, seed=6)
+        y_system = y_system.with_feedthrough(0.05 * np.eye(2))
+        s_system = scattering_from_admittance(y_system, z0=50.0)
+        for f in (1e2, 1e4):
+            s_point = 1j * 2 * np.pi * f
+            expected = y_to_s(y_system.transfer_function(s_point), z0=50.0)
+            assert np.allclose(s_system.transfer_function(s_point), expected, atol=1e-9)
+
+    def test_rectangular_system_rejected(self):
+        sys_ = StateSpace(-np.eye(2), np.ones((2, 1)), np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            scattering_from_impedance(sys_)
+
+
+class TestComposition:
+    def test_series_transfer_function(self):
+        g1 = StateSpace([[-1.0]], [[1.0]], [[1.0]])
+        g2 = StateSpace([[-2.0]], [[1.0]], [[2.0]])
+        cascade = series(g1, g2)
+        s = 1j * 0.7
+        expected = g2.transfer_function(s) @ g1.transfer_function(s)
+        assert np.allclose(cascade.transfer_function(s), expected)
+        assert cascade.order == 2
+
+    def test_parallel_transfer_function(self, small_system):
+        doubled = parallel(small_system, small_system)
+        s = 1j * 1e3
+        assert np.allclose(doubled.transfer_function(s), 2.0 * small_system.transfer_function(s))
+
+    def test_series_dimension_mismatch(self):
+        g1 = StateSpace([[-1.0]], [[1.0]], np.ones((2, 1)))
+        g2 = StateSpace([[-1.0]], [[1.0]], [[1.0]])
+        with pytest.raises(ValueError):
+            series(g1, g2)
+
+    def test_parallel_dimension_mismatch(self):
+        g1 = StateSpace([[-1.0]], [[1.0]], np.ones((2, 1)))
+        g2 = StateSpace([[-1.0]], [[1.0]], [[1.0]])
+        with pytest.raises(ValueError):
+            parallel(g1, g2)
+
+    def test_negative_feedback_dc_gain(self):
+        # plant 10/(s+1), unit feedback -> dc gain 10/11
+        plant = StateSpace([[-1.0]], [[1.0]], [[10.0]])
+        controller = StateSpace([[-1e6]], [[0.0]], [[0.0]], [[1.0]])
+        closed = feedback(plant, controller)
+        assert closed.transfer_function(0.0)[0, 0] == pytest.approx(10.0 / 11.0, rel=1e-6)
+
+    def test_feedback_formula_against_direct_computation(self):
+        plant = random_stable_system(order=6, n_ports=2, seed=1, feedthrough=0.1)
+        controller = random_stable_system(order=4, n_ports=2, seed=2, feedthrough=0.1)
+        closed = feedback(plant, controller)
+        s = 1j * 2 * np.pi * 50.0
+        hp = plant.transfer_function(s)
+        hc = controller.transfer_function(s)
+        expected = np.linalg.solve(np.eye(2) + hp @ hc, hp)
+        assert np.allclose(closed.transfer_function(s), expected, atol=1e-8)

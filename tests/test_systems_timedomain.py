@@ -1,0 +1,86 @@
+"""Tests for :mod:`repro.systems.timedomain`."""
+
+import numpy as np
+import pytest
+
+from repro.systems.statespace import DescriptorSystem, StateSpace
+from repro.systems.timedomain import impulse_response, simulate_lsim, step_response
+
+
+@pytest.fixture
+def lowpass():
+    """H(s) = 1 / (s + 1): step response 1 - exp(-t)."""
+    return StateSpace([[-1.0]], [[1.0]], [[1.0]])
+
+
+class TestSimulate:
+    def test_step_response_matches_analytic(self, lowpass):
+        time, output = step_response(lowpass, t_final=5.0, n_points=2001)
+        expected = 1.0 - np.exp(-time)
+        assert np.max(np.abs(output[:, 0] - expected)) < 1e-3
+
+    def test_impulse_response_matches_analytic(self, lowpass):
+        time, output = impulse_response(lowpass, t_final=5.0, n_points=4001)
+        expected = np.exp(-time)
+        # skip the first few samples where the discrete impulse approximation dominates
+        assert np.max(np.abs(output[5:, 0] - expected[5:])) < 5e-3
+
+    def test_zero_input_zero_output(self, lowpass):
+        time = np.linspace(0.0, 1.0, 50)
+        output = simulate_lsim(lowpass, np.zeros((50, 1)), time)
+        assert np.allclose(output, 0.0)
+
+    def test_feedthrough_appears_instantaneously(self):
+        sys_ = StateSpace([[-1.0]], [[0.0]], [[0.0]], [[2.0]])
+        time = np.linspace(0.0, 1.0, 10)
+        output = simulate_lsim(sys_, np.ones((10, 1)), time)
+        assert np.allclose(output, 2.0)
+
+    def test_descriptor_static_system(self):
+        """Purely algebraic descriptor system: y follows the input through -A^{-1}B."""
+        sys_ = DescriptorSystem([[0.0]], [[-1.0]], [[1.0]], [[1.0]])
+        time = np.linspace(0.0, 1.0, 20)
+        u = np.sin(time).reshape(-1, 1)
+        output = simulate_lsim(sys_, u, time)
+        assert np.allclose(output[:, 0], np.sin(time), atol=1e-12)
+
+    def test_mimo_shapes(self, small_system):
+        time = np.linspace(0.0, 1e-4, 64)
+        u = np.zeros((64, small_system.n_inputs))
+        u[:, 0] = 1.0
+        output = simulate_lsim(small_system, u, time)
+        assert output.shape == (64, small_system.n_outputs)
+        assert np.all(np.isfinite(output))
+
+
+class TestValidation:
+    def test_nonuniform_grid_rejected(self, lowpass):
+        time = np.array([0.0, 0.1, 0.3])
+        with pytest.raises(ValueError):
+            simulate_lsim(lowpass, np.zeros((3, 1)), time)
+
+    def test_wrong_input_shape_rejected(self, lowpass):
+        time = np.linspace(0.0, 1.0, 5)
+        with pytest.raises(ValueError):
+            simulate_lsim(lowpass, np.zeros((5, 3)), time)
+
+    def test_wrong_initial_state_rejected(self, lowpass):
+        time = np.linspace(0.0, 1.0, 5)
+        with pytest.raises(ValueError):
+            simulate_lsim(lowpass, np.zeros((5, 1)), time, x0=np.zeros(3))
+
+    def test_bad_time_grid(self, lowpass):
+        with pytest.raises(ValueError):
+            simulate_lsim(lowpass, np.zeros((1, 1)), np.array([0.0]))
+
+    def test_impulse_invalid_inputs(self, lowpass):
+        with pytest.raises(ValueError):
+            impulse_response(lowpass, t_final=-1.0)
+        with pytest.raises(ValueError):
+            impulse_response(lowpass, t_final=1.0, input_index=5)
+
+    def test_step_invalid_inputs(self, lowpass):
+        with pytest.raises(ValueError):
+            step_response(lowpass, t_final=0.0)
+        with pytest.raises(ValueError):
+            step_response(lowpass, t_final=1.0, input_index=-1)

@@ -1,0 +1,135 @@
+"""Tests for :mod:`repro.utils.linalg`."""
+
+import numpy as np
+import pytest
+
+from repro.utils.linalg import (
+    block_diag,
+    economic_svd,
+    hermitian_part,
+    is_effectively_real,
+    numerical_rank,
+    rank_from_gap,
+    relative_residual,
+    singular_value_gaps,
+    solve_sylvester_diag,
+    truncated_svd_projectors,
+)
+
+
+class TestBlockDiag:
+    def test_two_blocks(self):
+        a = np.array([[1.0, 2.0], [3.0, 4.0]])
+        b = np.array([[5.0]])
+        out = block_diag([a, b])
+        assert out.shape == (3, 3)
+        assert np.allclose(out[:2, :2], a)
+        assert out[2, 2] == 5.0
+        assert np.allclose(out[:2, 2], 0.0)
+
+    def test_rectangular_blocks(self):
+        out = block_diag([np.ones((2, 3)), np.ones((1, 2))])
+        assert out.shape == (3, 5)
+
+    def test_complex_dtype_preserved(self):
+        out = block_diag([np.eye(2), 1j * np.eye(2)])
+        assert np.iscomplexobj(out)
+
+    def test_empty_sequence(self):
+        out = block_diag([])
+        assert out.shape == (0, 0)
+
+    def test_one_dimensional_block_treated_as_row(self):
+        out = block_diag([np.array([1.0, 2.0])])
+        assert out.shape == (1, 2)
+
+
+class TestEconomicSvd:
+    def test_reconstruction(self, rng):
+        matrix = rng.normal(size=(6, 4))
+        u, s, vh = economic_svd(matrix)
+        assert np.allclose(u @ np.diag(s) @ vh, matrix)
+
+    def test_sorted_descending(self, rng):
+        matrix = rng.normal(size=(5, 5))
+        _, s, _ = economic_svd(matrix)
+        assert np.all(np.diff(s) <= 1e-12)
+
+
+class TestRankDetection:
+    def test_numerical_rank_exact(self):
+        s = np.array([1.0, 0.5, 1e-14])
+        assert numerical_rank(s, rtol=1e-10) == 2
+
+    def test_numerical_rank_empty(self):
+        assert numerical_rank(np.array([])) == 0
+
+    def test_gap_detection(self):
+        s = np.array([10.0, 5.0, 2.0, 1e-10, 1e-11])
+        assert rank_from_gap(s) == 3
+
+    def test_gap_detection_no_gap_returns_full(self):
+        s = np.array([4.0, 3.0, 2.0, 1.0])
+        assert rank_from_gap(s) == 4
+
+    def test_singular_value_gaps(self):
+        s = np.array([8.0, 4.0, 1.0])
+        gaps = singular_value_gaps(s)
+        assert np.allclose(gaps, [2.0, 4.0])
+
+    def test_singular_value_gaps_requires_1d(self):
+        with pytest.raises(ValueError):
+            singular_value_gaps(np.eye(2))
+
+    def test_truncated_projectors_shapes(self, rng):
+        matrix = rng.normal(size=(7, 5))
+        y, s, x = truncated_svd_projectors(matrix, 3)
+        assert y.shape == (7, 3)
+        assert x.shape == (5, 3)
+        assert s.shape == (3,)
+        assert np.allclose(y.conj().T @ y, np.eye(3), atol=1e-12)
+
+    def test_truncated_projectors_rank_out_of_range(self, rng):
+        with pytest.raises(ValueError):
+            truncated_svd_projectors(rng.normal(size=(3, 3)), 5)
+
+
+class TestSylvesterDiag:
+    def test_solution_satisfies_equation(self, rng):
+        mu = rng.normal(size=4) + 1j * rng.normal(size=4)
+        lam = rng.normal(size=3) + 1j * rng.normal(size=3) + 10.0
+        rhs = rng.normal(size=(4, 3)) + 1j * rng.normal(size=(4, 3))
+        x = solve_sylvester_diag(mu, lam, rhs)
+        lhs = x @ np.diag(lam) - np.diag(mu) @ x
+        assert np.allclose(lhs, rhs)
+
+    def test_coincident_points_rejected(self):
+        with pytest.raises(ValueError, match="disjoint"):
+            solve_sylvester_diag([1.0], [1.0], [[1.0]])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            solve_sylvester_diag([1.0, 2.0], [3.0], np.ones((1, 1)))
+
+
+class TestMiscHelpers:
+    def test_relative_residual_zero_for_equal(self):
+        a = np.arange(6.0).reshape(2, 3)
+        assert relative_residual(a, a) == 0.0
+
+    def test_relative_residual_absolute_fallback(self):
+        assert relative_residual(np.ones((2, 2)), np.zeros((2, 2))) == pytest.approx(2.0)
+
+    def test_hermitian_part(self):
+        m = np.array([[1.0, 2.0 + 1j], [0.0, 3.0]])
+        h = hermitian_part(m)
+        assert np.allclose(h, h.conj().T)
+
+    def test_is_effectively_real_true(self):
+        assert is_effectively_real(np.ones((2, 2)) + 1e-12j)
+
+    def test_is_effectively_real_false(self):
+        assert not is_effectively_real(np.ones((2, 2)) + 0.1j)
+
+    def test_is_effectively_real_zero_matrix(self):
+        assert is_effectively_real(np.zeros((2, 2), dtype=complex))
