@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.batch import BatchEngine
 from repro.experiments.ablations import recursive_parameter_ablation
 from repro.experiments.example2 import Example2Config, build_pdn_datasets
 from repro.experiments.reporting import format_table
@@ -22,9 +23,10 @@ def pdn_workload():
     return config, test1, validation
 
 
-def test_ablation_recursive_parameters(benchmark, pdn_workload, reportable):
+def test_ablation_recursive_parameters(benchmark, pdn_workload, reportable, json_reportable):
     """Sweep k0 in {4, 8, 16} and Th in {5e-2, 1e-2, 2e-3} on the noisy PDN data."""
     config, data, validation = pdn_workload
+    engine = BatchEngine.from_env()
     rows = benchmark.pedantic(
         lambda: recursive_parameter_ablation(
             data, validation,
@@ -32,6 +34,7 @@ def test_ablation_recursive_parameters(benchmark, pdn_workload, reportable):
             thresholds=(5e-2, 1e-2, 2e-3),
             block_size=2,
             rank_tolerance=config.rank_tolerance,
+            engine=engine,
         ),
         rounds=1, iterations=1,
     )
@@ -41,6 +44,10 @@ def test_ablation_recursive_parameters(benchmark, pdn_workload, reportable):
         title="Ablation A3: recursive MFTI parameters (noisy PDN, uniform sampling)",
     )
     reportable("ablation_recursive.txt", table)
+    json_reportable("ablation_recursive", {
+        "executor": engine.executor,
+        "rows": [r.to_dict() for r in rows],
+    })
     benchmark.extra_info["errors"] = {r.setting: r.error for r in rows}
     # tightening the threshold (at fixed k0) never increases the hold-out-driven model error
     by_k0 = {}

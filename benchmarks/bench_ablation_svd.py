@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.batch import BatchEngine
 from repro.data import log_frequencies, sample_scattering
 from repro.experiments.ablations import svd_mode_ablation
 from repro.experiments.example1 import Example1Config
@@ -25,11 +26,12 @@ def example1_workload():
     return data, reference
 
 
-def test_ablation_svd_modes(benchmark, example1_workload, reportable):
+def test_ablation_svd_modes(benchmark, example1_workload, reportable, json_reportable):
     """Compare two-sided projection against the pencil SVD with three shifts."""
     data, reference = example1_workload
+    engine = BatchEngine.from_env()
     rows = benchmark.pedantic(
-        lambda: svd_mode_ablation(data, reference, rank_tolerance=1e-9),
+        lambda: svd_mode_ablation(data, reference, rank_tolerance=1e-9, engine=engine),
         rounds=1, iterations=1,
     )
     table = format_table(
@@ -38,6 +40,10 @@ def test_ablation_svd_modes(benchmark, example1_workload, reportable):
         title="Ablation A2: SVD realization mode / shift x0 (Example-1 workload)",
     )
     reportable("ablation_svd.txt", table)
+    json_reportable("ablation_svd", {
+        "executor": engine.executor,
+        "rows": [r.to_dict() for r in rows],
+    })
     benchmark.extra_info["errors"] = {r.setting: r.error for r in rows}
     # every realization variant recovers the (noise-free, sufficiently sampled) system
     assert all(r.error < 1e-5 for r in rows)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.batch import BatchEngine
 from repro.experiments.ablations import weighting_ablation
 from repro.experiments.example2 import Example2Config, build_pdn_datasets
 from repro.experiments.reporting import format_table
@@ -23,13 +24,15 @@ def pdn_workload():
     return config, test1, validation
 
 
-def test_ablation_block_size_sweep(benchmark, pdn_workload, reportable):
+def test_ablation_block_size_sweep(benchmark, pdn_workload, reportable, json_reportable):
     """Sweep t in {1, 2, 3, 5, 8, 14} on the uniform-grid PDN data."""
     config, data, validation = pdn_workload
     sizes = [1, 2, 3, 5, 8, 14]
+    engine = BatchEngine.from_env()
     rows = benchmark.pedantic(
         lambda: weighting_ablation(data, validation, block_sizes=sizes,
-                                   rank_tolerance=config.rank_tolerance),
+                                   rank_tolerance=config.rank_tolerance,
+                                   engine=engine),
         rounds=1, iterations=1,
     )
     table = format_table(
@@ -38,6 +41,10 @@ def test_ablation_block_size_sweep(benchmark, pdn_workload, reportable):
         title="Ablation A1: tangential block size t (PDN, uniform sampling)",
     )
     reportable("ablation_weighting.txt", table)
+    json_reportable("ablation_weighting", {
+        "executor": engine.executor,
+        "rows": [r.to_dict() for r in rows],
+    })
     errors = [r.error for r in rows]
     orders = [r.order for r in rows]
     benchmark.extra_info["errors"] = {r.setting: r.error for r in rows}

@@ -1,0 +1,75 @@
+"""Batch engine -- throughput and backend-equivalence on a mixed job grid.
+
+The grid mixes MFTI (two block sizes), VFTI and recursive MFTI over two
+workload families: the noisy 14-port PDN of Example 2 and a lossy lumped
+transmission line -- eight jobs in total.  The benchmark checks the engine's
+two core guarantees:
+
+* the ``process`` backend reproduces the ``serial`` reference **bitwise**
+  (identical system matrices and errors, record for record), and
+* with >= 2 workers on a multi-core machine the batch finishes faster than
+  the serial reference.
+
+Timings and per-job errors land in ``BENCH_batch_engine.json`` -- the CI
+bench-smoke artifact.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.batch import BatchEngine, numerical_differences
+from repro.experiments.workloads import mixed_batch_jobs
+
+
+@pytest.fixture(scope="module")
+def job_grid():
+    """Eight mixed MFTI/VFTI jobs over the PDN and a transmission-line dataset.
+
+    The grid is shared with ``examples/batch_sweep.py`` (same builder), at
+    the builder's default sizes (140-sample PDN sweep, 40-section line) so
+    each job carries enough work for the pooled backends' speedup to
+    dominate their fork/pickle overhead.
+    """
+    return mixed_batch_jobs()
+
+
+def test_batch_engine_backends(benchmark, job_grid, reportable, json_reportable):
+    """Serial vs process on the 8-job grid: bitwise-equal, faster when multi-core."""
+    serial = BatchEngine(executor="serial").run(job_grid)
+    assert serial.n_failed == 0, serial.failures
+
+    process_engine = BatchEngine(executor="process", max_workers=2, chunk_size=2)
+    process = benchmark.pedantic(lambda: process_engine.run(job_grid),
+                                 rounds=1, iterations=1)
+    assert process.n_failed == 0, process.failures
+    assert not numerical_differences(serial, process)
+
+    thread = BatchEngine(executor="thread", max_workers=2).run(job_grid)
+    assert not numerical_differences(serial, thread)
+
+    reportable("batch_engine.txt", "\n\n".join([
+        serial.summary_table(title="batch engine: serial reference"),
+        process.summary_table(title="batch engine: process backend (2 workers)"),
+    ]))
+    json_reportable("batch_engine", {
+        "n_jobs": serial.n_jobs,
+        "cpu_count": os.cpu_count(),
+        "serial_wall_seconds": serial.wall_seconds,
+        "process_wall_seconds": process.wall_seconds,
+        "thread_wall_seconds": thread.wall_seconds,
+        "speedup_process_vs_serial": serial.wall_seconds / process.wall_seconds,
+        "jobs": [record.to_dict() for record in serial.records],
+    })
+    benchmark.extra_info.update({
+        "serial_wall_seconds": serial.wall_seconds,
+        "speedup_process_vs_serial": serial.wall_seconds / process.wall_seconds,
+    })
+    if (os.cpu_count() or 1) >= 2 and serial.wall_seconds > 0.5:
+        # the grid is embarrassingly parallel; with 2 workers the process
+        # backend must beat the serial wall clock on a multi-core machine
+        # (skipped when the serial baseline is too short to measure reliably;
+        # CI additionally pins BLAS to one thread to keep the race fair)
+        assert process.wall_seconds < serial.wall_seconds

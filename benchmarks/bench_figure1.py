@@ -23,7 +23,7 @@ def example1_data():
     return config, config.sample_data()
 
 
-def test_figure1_mfti_pencil_build(benchmark, example1_data, reportable):
+def test_figure1_mfti_pencil_build(benchmark, example1_data, reportable, json_reportable):
     """Time the MFTI pencil construction + realization on the 8-sample workload."""
     config, data = example1_data
     result = benchmark(lambda: mfti(data))
@@ -40,6 +40,16 @@ def test_figure1_mfti_pencil_build(benchmark, example1_data, reportable):
     benchmark.extra_info["detected_order"] = int(figure.mfti_detected_order)
     benchmark.extra_info["true_order_plus_rankD"] = int(figure.true_order_with_feedthrough)
     benchmark.extra_info["drop_ratio"] = float(figure.mfti_drop_ratio())
+    json_reportable("figure1", {
+        "mfti": {
+            "order": int(result.order),
+            "fit_seconds": float(result.elapsed_seconds),
+            "detected_order": int(figure.mfti_detected_order),
+            "drop_ratio": float(figure.mfti_drop_ratio()),
+        },
+        "vfti": {"drop_ratio": float(figure.vfti_drop_ratio())},
+        "true_order_plus_rankD": int(figure.true_order_with_feedthrough),
+    })
     assert figure.mfti_detected_order == figure.true_order_with_feedthrough
     assert result.order == figure.true_order_with_feedthrough
 

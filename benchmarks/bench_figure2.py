@@ -19,7 +19,7 @@ def figure2():
     return bode_experiment(Example1Config(), n_validation=200)
 
 
-def test_figure2_bode_comparison(benchmark, figure2, reportable):
+def test_figure2_bode_comparison(benchmark, figure2, reportable, json_reportable):
     """Time re-evaluating both recovered models over the 200-point Bode grid."""
     def sweep():
         mfti_mag = figure2.mfti_result.frequency_response(figure2.frequencies_hz)
@@ -39,6 +39,14 @@ def test_figure2_bode_comparison(benchmark, figure2, reportable):
     ))
     benchmark.extra_info["mfti_error"] = figure2.mfti_error
     benchmark.extra_info["vfti_error"] = figure2.vfti_error
+    json_reportable("figure2", {
+        "mfti": {"order": int(figure2.mfti_result.order),
+                 "fit_seconds": float(figure2.mfti_result.elapsed_seconds),
+                 "error": float(figure2.mfti_error)},
+        "vfti": {"order": int(figure2.vfti_result.order),
+                 "fit_seconds": float(figure2.vfti_result.elapsed_seconds),
+                 "error": float(figure2.vfti_error)},
+    })
     # shape of the paper's figure: MFTI follows the original, VFTI does not
     assert figure2.mfti_error < 1e-6
     assert figure2.vfti_error > 1e-2

@@ -12,14 +12,12 @@ requirements next to the theorem's predictions.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.experiments.minimal_sampling import minimal_sampling_experiment
 from repro.experiments.example1 import Example1Config, sample_requirement_sweep
 from repro.experiments.reporting import format_table
 
 
-def test_minimal_sampling_sweep(benchmark, reportable):
+def test_minimal_sampling_sweep(benchmark, reportable, json_reportable):
     """Sample-count sweep on an order-60, 10-port system (Theorem 3.5)."""
     result = benchmark.pedantic(
         lambda: minimal_sampling_experiment(order=60, n_ports=10, seed=11, tolerance=1e-6),
@@ -36,6 +34,19 @@ def test_minimal_sampling_sweep(benchmark, reportable):
              f"(order = {result.system_order}, order + rank(D) = "
              f"{result.system_order + result.feedthrough_rank})")
     reportable("minimal_sampling.txt", text)
+    json_reportable("minimal_sampling", {
+        "predicted_mfti_samples": int(result.predicted_mfti_samples),
+        "measured_mfti_samples": (
+            None if result.mfti_samples_needed is None else int(result.mfti_samples_needed)
+        ),
+        "predicted_vfti_samples": int(result.predicted_vfti_samples),
+        "measured_vfti_samples": (
+            None if result.vfti_samples_needed is None else int(result.vfti_samples_needed)
+        ),
+        "best_mfti_error": float(min(result.mfti_errors.values())),
+        "best_vfti_error": float(min(result.vfti_errors.values())),
+        "saving_factor": float(result.saving_factor),
+    })
     benchmark.extra_info["saving_factor"] = result.saving_factor
     assert result.mfti_samples_needed is not None
     assert result.mfti_samples_needed <= result.predicted_mfti_samples + 2

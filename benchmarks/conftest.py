@@ -7,15 +7,25 @@ in module-scoped fixtures so the timed section contains only the algorithm
 under study; the regenerated tables/series are printed so a plain
 ``pytest benchmarks/ --benchmark-only -s`` reproduces the paper's artifacts
 textually and written to ``benchmarks/results/`` for later inspection.
+
+Besides the human-readable text reports every module also writes a
+machine-readable ``BENCH_<name>.json`` (timings + model errors, stable
+schema) through the ``json_reportable`` fixture; CI uploads these as the
+benchmark artifact and future perf-regression gates diff them.
 """
 
 from __future__ import annotations
 
+import json
+import math
 import os
 
 import pytest
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Schema of the ``BENCH_*.json`` exports; bump when the envelope changes.
+BENCH_SCHEMA_VERSION = 1
 
 
 def save_report(name: str, text: str) -> str:
@@ -27,10 +37,52 @@ def save_report(name: str, text: str) -> str:
     return path
 
 
+def _json_safe(value):
+    """Map non-finite floats to ``None`` so the export stays RFC-valid JSON."""
+    if isinstance(value, dict):
+        return {key: _json_safe(entry) for key, entry in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(entry) for entry in value]
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
+def save_json_report(name: str, payload: dict) -> str:
+    """Write ``BENCH_<name>.json`` under ``benchmarks/results`` and return its path.
+
+    The payload is wrapped in a stable envelope (benchmark name + schema
+    version) so downstream tooling can validate what it is diffing; ``nan``
+    and ``inf`` values (e.g. a saving factor when one method never converged)
+    are exported as ``null`` because strict JSON parsers reject the bare
+    ``NaN`` / ``Infinity`` tokens Python would otherwise emit.
+    """
+    document = _json_safe({
+        "benchmark": name,
+        "schema_version": BENCH_SCHEMA_VERSION,
+        **payload,
+    })
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True, allow_nan=False)
+        handle.write("\n")
+    return path
+
+
 @pytest.fixture(scope="session")
 def reportable():
     """Print-and-save helper shared by all benchmark modules."""
     def _report(name: str, text: str) -> None:
         path = save_report(name, text)
         print(f"\n{text}\n[saved to {path}]")
+    return _report
+
+
+@pytest.fixture(scope="session")
+def json_reportable():
+    """Save a machine-readable ``BENCH_<name>.json`` next to the text report."""
+    def _report(name: str, payload: dict) -> None:
+        path = save_json_report(name, payload)
+        print(f"[machine-readable report saved to {path}]")
     return _report

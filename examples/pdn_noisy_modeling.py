@@ -6,11 +6,16 @@ an ill-conditioned (high-frequency-clustered) grid, and compares VFTI, MFTI-1
 (t = 2, 3) and the recursive MFTI-2 -- the Loewner rows of Table 1.  Set
 ``INCLUDE_VECTOR_FITTING = True`` to add the (slower) VF rows.
 
+All Loewner fits run as one grid through the batch engine; set
+``REPRO_BATCH_EXECUTOR=thread`` (or ``process``) to fit both tests' rows in
+parallel instead of serially.
+
 Run with ``python examples/pdn_noisy_modeling.py`` (about half a minute).
 """
 
 from __future__ import annotations
 
+from repro.batch import BatchEngine
 from repro.experiments.example2 import Example2Config, table1_experiment
 from repro.experiments.reporting import format_table
 
@@ -21,12 +26,15 @@ INCLUDE_VECTOR_FITTING = False
 
 def main() -> None:
     config = Example2Config()
+    engine = BatchEngine.from_env()
     print("Example 2 workload: synthetic 14-port PDN, "
           f"{config.n_samples} samples per test over "
           f"[{config.f_min_hz:.0e}, {config.f_max_hz:.0e}] Hz, "
-          f"noise level {config.noise_level:.0e}\n")
+          f"noise level {config.noise_level:.0e}")
+    print(f"batch executor: {engine.executor} ({engine.n_workers} worker(s))\n")
 
-    table = table1_experiment(config, include_vector_fitting=INCLUDE_VECTOR_FITTING)
+    table = table1_experiment(config, include_vector_fitting=INCLUDE_VECTOR_FITTING,
+                              engine=engine)
 
     for test, description in (("test1", "Test 1 -- 100 uniformly distributed samples"),
                               ("test2", "Test 2 -- 100 ill-conditioned (clustered) samples")):

@@ -25,6 +25,9 @@ Top-level layout
     :class:`~repro.data.dataset.FrequencyData` container.
 ``repro.metrics``
     The paper's error metrics and model validation.
+``repro.batch``
+    Batch macromodeling engine: declarative fit jobs run through serial /
+    thread / process executors with per-job error capture and JSON reports.
 ``repro.experiments``
     Drivers that regenerate every figure and table of the paper.
 
@@ -39,14 +42,17 @@ Quickstart
 True
 """
 
+from repro.batch import BatchEngine, BatchResult, FitJob
 from repro.core import (
     MacromodelResult,
     MftiOptions,
     RecursiveOptions,
     VftiOptions,
+    available_methods,
     mfti,
     minimal_sample_count,
     recursive_mfti,
+    run_fit,
     vfti,
 )
 from repro.data import (
@@ -72,6 +78,11 @@ __all__ = [
     "recursive_mfti",
     "vfti",
     "vector_fit",
+    "run_fit",
+    "available_methods",
+    "BatchEngine",
+    "BatchResult",
+    "FitJob",
     "minimal_sample_count",
     "MacromodelResult",
     "MftiOptions",

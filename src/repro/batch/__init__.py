@@ -1,0 +1,41 @@
+"""Batch macromodeling engine.
+
+Every production workload in the ROADMAP -- port sweeps, Monte-Carlo noise
+studies, netlist families, ablation grids -- fits many datasets with many
+method configurations.  This package turns such a sweep into data:
+
+* :class:`~repro.batch.jobs.FitJob` -- one fit, described declaratively
+  (dataset + method + options + tags), picklable so it can ship to workers,
+* :class:`~repro.batch.engine.BatchEngine` -- runs a job list through a
+  pluggable executor (``serial`` / ``thread`` / ``process``) with
+  deterministic chunking and per-job error capture,
+* :class:`~repro.batch.results.BatchResult` -- ordered records with aggregate
+  tables and a stable JSON export for CI artifacts and regression gates.
+
+The engine dispatches through :func:`repro.core.run_fit`, the same entry
+point the single-fit path uses, so batch and interactive fits are guaranteed
+to run identical code::
+
+    from repro.batch import BatchEngine, FitJob
+
+    jobs = [FitJob(data, method="mfti", options=MftiOptions(block_size=t),
+                   tags={"t": t}, reference=validation)
+            for t in (1, 2, 3)]
+    result = BatchEngine(executor="process", max_workers=4).run(jobs)
+    print(result.summary_table())
+    result.save_json("sweep.json")
+"""
+
+from repro.batch.engine import EXECUTORS, BatchEngine
+from repro.batch.jobs import FitJob, JobRecord, run_job
+from repro.batch.results import BatchResult, numerical_differences
+
+__all__ = [
+    "EXECUTORS",
+    "BatchEngine",
+    "FitJob",
+    "JobRecord",
+    "run_job",
+    "BatchResult",
+    "numerical_differences",
+]

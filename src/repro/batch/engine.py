@@ -1,0 +1,141 @@
+"""The batch engine: run many fit jobs through a pluggable executor.
+
+All ROADMAP-scale workloads -- port sweeps, Monte-Carlo noise studies, netlist
+families, ablation grids -- are embarrassingly parallel across datasets, so
+the engine's job is simple and strict:
+
+* **pluggable executors** -- ``"serial"`` (plain loop, the reference),
+  ``"thread"`` (``ThreadPoolExecutor``; the heavy lifting is BLAS/LAPACK,
+  which releases the GIL) and ``"process"`` (``ProcessPoolExecutor``; full
+  isolation, jobs and results travel by pickle),
+* **deterministic chunking** -- jobs are split into contiguous chunks in
+  submission order and records are re-assembled in that order, so the output
+  is identical (bitwise, for the numerical payload) no matter which executor
+  ran the batch or in which order chunks finished.  The guarantee holds for
+  deterministic jobs; :class:`~repro.batch.jobs.FitJob` therefore rejects
+  live ``numpy.random.Generator`` seeds (use an integer seed), and jobs with
+  ``direction_kind="random"`` and ``direction_seed=None`` are nondeterministic
+  on *every* backend, serial included,
+* **per-job error capture** -- a failing job is recorded, never raised, so one
+  bad dataset cannot abort the sweep.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.batch.jobs import FitJob, JobRecord, run_job
+from repro.batch.results import BatchResult
+
+__all__ = ["BatchEngine", "EXECUTORS"]
+
+EXECUTORS = ("serial", "thread", "process")
+
+
+def _run_chunk(chunk: Sequence[tuple[int, FitJob]]) -> list[JobRecord]:
+    """Run one contiguous chunk of (index, job) pairs (worker-side entry point)."""
+    return [run_job(index, job) for index, job in chunk]
+
+
+@dataclass(frozen=True)
+class BatchEngine:
+    """Runs a batch of :class:`~repro.batch.jobs.FitJob` through an executor.
+
+    Attributes
+    ----------
+    executor:
+        ``"serial"``, ``"thread"`` or ``"process"``.
+    max_workers:
+        Worker count for the pooled executors; ``None`` uses the CPU count.
+    chunk_size:
+        Jobs per submitted chunk; ``None`` picks ``ceil(n / (4 * workers))``
+        so each worker sees a few chunks (cheap load balancing) while keeping
+        per-chunk overhead low.  Chunking is deterministic: the same jobs and
+        chunk size always produce the same chunks.
+    """
+
+    executor: str = "serial"
+    max_workers: Optional[int] = None
+    chunk_size: Optional[int] = None
+
+    def __post_init__(self):
+        if self.executor not in EXECUTORS:
+            raise ValueError(f"executor must be one of {EXECUTORS}, got {self.executor!r}")
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError("max_workers must be >= 1 when given")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1 when given")
+
+    @classmethod
+    def from_env(cls, default: str = "serial") -> "BatchEngine":
+        """Build an engine from ``REPRO_BATCH_EXECUTOR`` / ``_WORKERS`` / ``_CHUNK``.
+
+        Lets benchmarks and scripts switch backend without code changes, e.g.
+        ``REPRO_BATCH_EXECUTOR=process REPRO_BATCH_WORKERS=4 pytest benchmarks/``.
+        """
+        def int_env(name: str):
+            value = os.environ.get(name)
+            if not value:
+                return None
+            try:
+                return int(value)
+            except ValueError:
+                raise ValueError(f"{name} must be an integer, got {value!r}") from None
+
+        return cls(
+            executor=os.environ.get("REPRO_BATCH_EXECUTOR", default),
+            max_workers=int_env("REPRO_BATCH_WORKERS"),
+            chunk_size=int_env("REPRO_BATCH_CHUNK"),
+        )
+
+    @property
+    def n_workers(self) -> int:
+        """Resolved worker count (1 for the serial executor)."""
+        if self.executor == "serial":
+            return 1
+        return self.max_workers or os.cpu_count() or 1
+
+    def resolve_chunk_size(self, n_jobs: int) -> int:
+        """The chunk size actually used for a batch of ``n_jobs``."""
+        if self.chunk_size is not None:
+            return self.chunk_size
+        workers = max(1, self.n_workers)
+        return max(1, -(-n_jobs // (4 * workers)))
+
+    def _chunks(self, jobs: Sequence[FitJob]) -> list[list[tuple[int, FitJob]]]:
+        size = self.resolve_chunk_size(len(jobs))
+        indexed = list(enumerate(jobs))
+        return [indexed[start:start + size] for start in range(0, len(indexed), size)]
+
+    def run(self, jobs: Iterable[FitJob]) -> BatchResult:
+        """Run every job and return the assembled :class:`BatchResult`.
+
+        Records come back ordered by submission index; failures are embedded
+        in their records, so this method only raises on infrastructure errors
+        (e.g. an unpicklable job with the process backend).
+        """
+        job_list = list(jobs)
+        started = time.perf_counter()
+        chunks = self._chunks(job_list)
+        if self.executor == "serial":
+            chunk_records = [_run_chunk(chunk) for chunk in chunks]
+        else:
+            pool_cls = ThreadPoolExecutor if self.executor == "thread" else ProcessPoolExecutor
+            with pool_cls(max_workers=self.n_workers) as pool:
+                futures = [pool.submit(_run_chunk, chunk) for chunk in chunks]
+                chunk_records = [future.result() for future in futures]
+        records = sorted(
+            (record for chunk in chunk_records for record in chunk),
+            key=lambda record: record.index,
+        )
+        return BatchResult(
+            records=tuple(records),
+            executor=self.executor,
+            n_workers=self.n_workers,
+            chunk_size=self.resolve_chunk_size(len(job_list)) if job_list else 0,
+            wall_seconds=time.perf_counter() - started,
+        )

@@ -1,0 +1,195 @@
+"""Job specifications and per-job execution for the batch layer.
+
+A :class:`FitJob` is a self-contained description of one macromodel fit --
+dataset, method name, options, free-form tags -- that can be shipped to a
+worker process (everything it holds is picklable).  :func:`run_job` executes
+one job through the shared :func:`repro.core.run_fit` entry point and folds
+the outcome, successful or not, into a :class:`JobRecord`: a failing job
+yields a record carrying the exception instead of raising, so one bad netlist
+never kills a sweep.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.core._pipeline import frontend_spec, run_fit
+from repro.core.options import InterpolationOptions
+from repro.core.results import MacromodelResult
+from repro.data.dataset import FrequencyData
+
+__all__ = ["FitJob", "JobRecord", "run_job"]
+
+
+@dataclass(frozen=True)
+class FitJob:
+    """One unit of batch work: fit one dataset with one method configuration.
+
+    Attributes
+    ----------
+    data:
+        The frequency samples to interpolate.
+    method:
+        Registered front-end name (``"mfti"``, ``"vfti"``, ``"mfti-recursive"``).
+    options:
+        Options object matching the method; ``None`` uses the method defaults.
+    label:
+        Human-readable identifier used in reports (defaults to the method name
+        plus the dataset label).
+    tags:
+        Free-form key/value metadata carried through to the record and the
+        JSON export (e.g. ``{"workload": "pdn", "test": "test1"}``).
+    reference:
+        Optional validation data; when given, the record includes the model's
+        aggregate error against it.
+    """
+
+    data: FrequencyData
+    method: str = "mfti"
+    options: Optional[InterpolationOptions] = None
+    label: str = ""
+    tags: dict[str, Any] = field(default_factory=dict)
+    reference: Optional[FrequencyData] = None
+
+    def __post_init__(self):
+        spec = frontend_spec(self.method)  # raises on unknown method names
+        if self.options is not None and not isinstance(self.options, spec.options_type):
+            raise TypeError(
+                f"method {self.method!r} expects {spec.options_type.__name__} options, "
+                f"got {type(self.options).__name__}"
+            )
+        if isinstance(getattr(self.options, "direction_seed", None), np.random.Generator):
+            # a live generator's state advances as jobs consume it, and each
+            # executor partitions that consumption differently (serial: one
+            # stream; process: one snapshot per chunk; thread: racy shared
+            # mutation) -- silently breaking cross-executor determinism
+            raise TypeError(
+                "FitJob options must carry an integer direction_seed (or None), "
+                "not a live numpy.random.Generator: shared generator state would "
+                "make results depend on the executor"
+            )
+        if not self.label:
+            suffix = f" [{self.data.label}]" if self.data.label else ""
+            object.__setattr__(self, "label", f"{self.method}{suffix}")
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """Outcome of one :class:`FitJob`, successful or failed.
+
+    Attributes
+    ----------
+    index:
+        Position of the job in the submitted batch (records are returned in
+        this order regardless of executor scheduling).
+    label, method, tags:
+        Copied from the job.
+    status:
+        ``"ok"`` or ``"failed"``.
+    result:
+        The :class:`~repro.core.results.MacromodelResult` (``None`` on failure).
+    order:
+        Order of the recovered model (``None`` on failure).
+    elapsed_seconds:
+        Wall-clock time spent on this job (including the failure path).
+    error_vs_data:
+        Aggregate error of the model against the job's own (possibly noisy)
+        measurement data -- the paper's "error vs measurement" column
+        (``nan`` on failure).
+    error_vs_reference:
+        Aggregate error against ``job.reference`` (``nan`` when no reference
+        was given or the job failed).
+    error_type, error_message, error_traceback:
+        Exception details of a failed job (``None`` on success).
+
+    Both errors are computed worker-side by :func:`run_job`, so pooled
+    executors parallelise the model evaluations along with the fits.
+    """
+
+    index: int
+    label: str
+    method: str
+    tags: dict[str, Any]
+    status: str
+    result: Optional[MacromodelResult] = None
+    order: Optional[int] = None
+    elapsed_seconds: float = 0.0
+    error_vs_data: float = float("nan")
+    error_vs_reference: float = float("nan")
+    error_type: Optional[str] = None
+    error_message: Optional[str] = None
+    error_traceback: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the fit succeeded."""
+        return self.status == "ok"
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe summary of this record (numerical payloads excluded)."""
+        return {
+            "index": self.index,
+            "label": self.label,
+            "method": self.method,
+            "tags": dict(self.tags),
+            "status": self.status,
+            "order": self.order,
+            "elapsed_seconds": self.elapsed_seconds,
+            "error_vs_data": (
+                None if math.isnan(self.error_vs_data) else self.error_vs_data
+            ),
+            "error_vs_reference": (
+                None if math.isnan(self.error_vs_reference) else self.error_vs_reference
+            ),
+            "error": (
+                None
+                if self.ok
+                else {"type": self.error_type, "message": self.error_message}
+            ),
+        }
+
+
+def run_job(index: int, job: FitJob) -> JobRecord:
+    """Execute one job, capturing any exception into the returned record.
+
+    This is a module-level function so the process backend can pickle it; it
+    is the only place batch work actually calls into the fitting code.
+    """
+    started = time.perf_counter()
+    try:
+        result = run_fit(job.data, method=job.method, options=job.options)
+        error_vs_reference = (
+            result.aggregate_error(job.reference)
+            if job.reference is not None
+            else float("nan")
+        )
+        return JobRecord(
+            index=index,
+            label=job.label,
+            method=job.method,
+            tags=dict(job.tags),
+            status="ok",
+            result=result,
+            order=result.order,
+            elapsed_seconds=time.perf_counter() - started,
+            error_vs_data=result.aggregate_error(job.data),
+            error_vs_reference=error_vs_reference,
+        )
+    except Exception as exc:  # noqa: BLE001 - per-job isolation is the point
+        return JobRecord(
+            index=index,
+            label=job.label,
+            method=job.method,
+            tags=dict(job.tags),
+            status="failed",
+            elapsed_seconds=time.perf_counter() - started,
+            error_type=type(exc).__name__,
+            error_message=str(exc),
+            error_traceback=traceback.format_exc(),
+        )

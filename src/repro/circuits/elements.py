@@ -13,7 +13,7 @@ multi-port transfer function is defined).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = [
     "GROUND_NAMES",

@@ -33,8 +33,6 @@ from repro.circuits.elements import (
     GROUND_NAMES,
     Capacitor,
     CurrentProbePort,
-    Inductor,
-    MutualInductance,
     Port,
     Resistor,
 )

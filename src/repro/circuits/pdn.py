@@ -23,7 +23,7 @@ ill-conditioned sampling" workload Table 1 of the paper stresses.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

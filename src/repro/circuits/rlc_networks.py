@@ -11,8 +11,6 @@ so the caller can inspect or extend the circuit before assembling it through
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.circuits.netlist import Netlist
 from repro.utils.validation import check_positive_integer
 

@@ -12,8 +12,6 @@ cares about.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.circuits.netlist import Netlist
 from repro.utils.validation import check_positive_integer
 

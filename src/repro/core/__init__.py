@@ -20,6 +20,7 @@ Layout of the subpackage (bottom-up):
   result value objects shared by all front-ends.
 """
 
+from repro.core._pipeline import available_methods, frontend_spec, run_fit
 from repro.core.directions import (
     identity_directions,
     orthonormal_directions,
@@ -58,6 +59,9 @@ __all__ = [
     "mfti",
     "recursive_mfti",
     "vfti",
+    "run_fit",
+    "available_methods",
+    "frontend_spec",
     "InterpolationOptions",
     "MftiOptions",
     "VftiOptions",

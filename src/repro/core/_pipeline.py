@@ -4,11 +4,20 @@ Both front-ends differ only in how they pick tangential directions; once the
 :class:`~repro.core.tangential.TangentialData` exists, the remaining steps --
 assemble the pencil, optionally apply the real transform, project through the
 rank-revealing SVD, package the result -- are identical and live here.
+
+The module also hosts the *front-end registry*: every interpolation front-end
+(``mfti``, ``vfti``, ``mfti-recursive``) registers itself under a method name,
+and :func:`run_fit` dispatches on that name.  The registry is the single entry
+point shared by interactive use, the experiment drivers and the batch engine
+(:mod:`repro.batch`), so a fit described as ``(data, method, options)`` runs
+through exactly the same code no matter which layer requested it.
 """
 
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -18,7 +27,99 @@ from repro.core.realization import svd_realization, to_real_data
 from repro.core.results import MacromodelResult
 from repro.core.tangential import TangentialData
 
-__all__ = ["realize_from_tangential"]
+__all__ = [
+    "realize_from_tangential",
+    "register_frontend",
+    "available_methods",
+    "frontend_spec",
+    "run_fit",
+]
+
+
+@dataclass(frozen=True)
+class FrontendSpec:
+    """A registered interpolation front-end.
+
+    Attributes
+    ----------
+    name:
+        Method name used for dispatch (``"mfti"``, ``"vfti"``, ...).
+    runner:
+        The front-end callable: ``runner(data, *, options=None, **kwargs)``.
+    options_type:
+        The options dataclass the front-end expects.
+    """
+
+    name: str
+    runner: Callable[..., MacromodelResult]
+    options_type: type[InterpolationOptions]
+
+
+_FRONTENDS: dict[str, FrontendSpec] = {}
+
+
+def register_frontend(name: str, *, options_type: type[InterpolationOptions]):
+    """Register the decorated callable as the front-end for ``name``.
+
+    Used by the front-end modules themselves; user code normally only calls
+    :func:`run_fit` / :func:`available_methods`.
+    """
+
+    def decorate(runner: Callable[..., MacromodelResult]):
+        _FRONTENDS[name] = FrontendSpec(name=name, runner=runner, options_type=options_type)
+        return runner
+
+    return decorate
+
+
+def _ensure_frontends_loaded() -> None:
+    """Import the front-end modules so their ``register_frontend`` calls ran."""
+    from repro.core import mfti, recursive, vfti  # noqa: F401  (import = registration)
+
+
+def available_methods() -> tuple[str, ...]:
+    """Names of every registered interpolation front-end, sorted."""
+    _ensure_frontends_loaded()
+    return tuple(sorted(_FRONTENDS))
+
+
+def frontend_spec(method: str) -> FrontendSpec:
+    """Look up the :class:`FrontendSpec` registered under ``method``."""
+    _ensure_frontends_loaded()
+    try:
+        return _FRONTENDS[method]
+    except KeyError:
+        raise ValueError(
+            f"unknown method {method!r}; available: {', '.join(sorted(_FRONTENDS))}"
+        ) from None
+
+
+def run_fit(
+    data,
+    *,
+    method: str = "mfti",
+    options: Optional[InterpolationOptions] = None,
+    **kwargs,
+) -> MacromodelResult:
+    """Run one macromodel fit, dispatching on the method name.
+
+    Parameters
+    ----------
+    data:
+        The :class:`~repro.data.dataset.FrequencyData` to interpolate.
+    method:
+        Registered front-end name (see :func:`available_methods`).
+    options:
+        Options object of the method's expected type; keyword arguments are
+        accepted as a shortcut exactly like on the front-ends themselves.
+    """
+    spec = frontend_spec(method)
+    if options is not None and not isinstance(options, spec.options_type):
+        raise TypeError(
+            f"method {method!r} expects {spec.options_type.__name__} options, "
+            f"got {type(options).__name__}"
+        )
+    return spec.runner(data, options=options, **kwargs)
 
 
 def realize_from_tangential(

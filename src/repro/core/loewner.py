@@ -19,7 +19,7 @@ paper plots in Fig. 1.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
@@ -165,11 +165,11 @@ def build_loewner_pencil(data: TangentialData) -> LoewnerPencil:
     mu = data.mu_points
     r = data.R
     w = data.W
-    l = data.L
+    ell = data.L
     v = data.V
 
     vr = v @ r          # (k_left, k_right)
-    lw = l @ w          # (k_left, k_right)
+    lw = ell @ w        # (k_left, k_right)
     denom = mu[:, np.newaxis] - lam[np.newaxis, :]
     if np.any(np.abs(denom) < 1e-300):
         raise ValueError("left and right sample points must be disjoint")

@@ -23,7 +23,7 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
-from repro.core._pipeline import realize_from_tangential
+from repro.core._pipeline import realize_from_tangential, register_frontend
 from repro.core.directions import identity_directions, orthonormal_directions
 from repro.core.options import MftiOptions
 from repro.core.results import MacromodelResult
@@ -90,6 +90,7 @@ def generate_direction_sets(
     return right, left
 
 
+@register_frontend("mfti", options_type=MftiOptions)
 def mfti(
     data: FrequencyData,
     *,

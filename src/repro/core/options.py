@@ -13,7 +13,7 @@ lightweight::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence, Union
 
 from repro.utils.rng import RandomState

@@ -23,7 +23,7 @@ Two SVD flavours are provided:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np

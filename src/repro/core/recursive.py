@@ -25,7 +25,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core._pipeline import realize_from_tangential
+from repro.core._pipeline import realize_from_tangential, register_frontend
 from repro.core.mfti import generate_direction_sets, resolve_block_sizes, _embed
 from repro.core.options import RecursiveOptions
 from repro.core.results import MacromodelResult, RecursiveDiagnostics, RecursiveIteration
@@ -68,6 +68,7 @@ def _holdout_errors(
     return errors
 
 
+@register_frontend("mfti-recursive", options_type=RecursiveOptions)
 def recursive_mfti(
     data: FrequencyData,
     *,

@@ -25,7 +25,6 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.data.dataset import FrequencyData
-from repro.utils.linalg import block_diag
 
 __all__ = ["RightBlock", "LeftBlock", "TangentialData", "build_tangential_data"]
 

@@ -17,7 +17,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core._pipeline import realize_from_tangential
+from repro.core._pipeline import realize_from_tangential, register_frontend
 from repro.core.directions import vfti_directions
 from repro.core.options import VftiOptions
 from repro.core.results import MacromodelResult
@@ -27,6 +27,7 @@ from repro.data.dataset import FrequencyData
 __all__ = ["vfti"]
 
 
+@register_frontend("vfti", options_type=VftiOptions)
 def vfti(
     data: FrequencyData,
     *,

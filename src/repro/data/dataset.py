@@ -9,7 +9,7 @@ parameter the samples represent and which reference impedance applies.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Optional
 
 import numpy as np

@@ -9,8 +9,6 @@ like externally measured data.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from repro.data.dataset import FrequencyData

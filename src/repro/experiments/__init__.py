@@ -40,6 +40,7 @@ from repro.experiments.ablations import (
     weighting_ablation,
 )
 from repro.experiments.reporting import format_series, format_table
+from repro.experiments.workloads import mixed_batch_jobs
 
 __all__ = [
     "Example1Config",
@@ -60,4 +61,5 @@ __all__ = [
     "recursive_parameter_ablation",
     "format_table",
     "format_series",
+    "mixed_batch_jobs",
 ]

@@ -10,6 +10,11 @@ drivers produce the corresponding ablation tables:
   ``[L, sL]`` / ``[L; sL]`` projection, and the effect of the shift ``x0``,
 * **recursive parameters** -- the block of samples added per iteration
   (``k0``) and the stopping threshold (``Th``) of Algorithm 2.
+
+Every sweep is expressed as a grid of :class:`~repro.batch.jobs.FitJob` and
+executed through a :class:`~repro.batch.engine.BatchEngine`, so the ablation
+drivers parallelise across configurations by passing an engine with a pooled
+executor -- the default remains the serial reference executor.
 """
 
 from __future__ import annotations
@@ -19,7 +24,9 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.core import mfti, recursive_mfti
+from repro.batch.engine import BatchEngine
+from repro.batch.jobs import FitJob
+from repro.batch.results import BatchResult
 from repro.core.options import MftiOptions, RecursiveOptions
 from repro.data.dataset import FrequencyData
 
@@ -55,6 +62,41 @@ class AblationRow:
     error: float
     extra: float = float("nan")
 
+    def to_dict(self) -> dict:
+        """JSON-safe row for the benchmarks' ``BENCH_*.json`` exports.
+
+        ``extra`` is included only when the sweep recorded one, under the
+        generic key ``"extra"`` (e.g. the recursive sweep's iteration count).
+        """
+        row = {
+            "setting": self.setting,
+            "order": int(self.order),
+            "time_seconds": float(self.time_seconds),
+            "error": float(self.error),
+        }
+        if not np.isnan(self.extra):
+            row["extra"] = float(self.extra)
+        return row
+
+
+def _run_grid(jobs: Sequence[FitJob], engine: Optional[BatchEngine]) -> BatchResult:
+    """Run an ablation grid, re-raising the first failure (sweeps expect clean runs)."""
+    return (engine or BatchEngine()).run(jobs).raise_failures(context="ablation job")
+
+
+def _rows(batch: BatchResult, *, extra=None) -> list[AblationRow]:
+    """Convert batch records to ablation rows (times are the algorithm times)."""
+    rows = []
+    for record in batch.records:
+        rows.append(AblationRow(
+            setting=record.label,
+            order=record.order,
+            time_seconds=record.result.elapsed_seconds,
+            error=record.error_vs_reference,
+            extra=float("nan") if extra is None else extra(record),
+        ))
+    return rows
+
 
 def weighting_ablation(
     data: FrequencyData,
@@ -62,22 +104,24 @@ def weighting_ablation(
     *,
     block_sizes: Optional[Sequence[int]] = None,
     rank_tolerance: float = 1e-5,
+    engine: Optional[BatchEngine] = None,
 ) -> list[AblationRow]:
     """Sweep the tangential block size ``t`` from 1 to ``min(m, p)``."""
     max_block = min(data.n_inputs, data.n_outputs)
     sizes = list(block_sizes) if block_sizes is not None else list(range(1, max_block + 1))
-    rows = []
-    for t in sizes:
-        options = MftiOptions(block_size=int(t), rank_method="tolerance",
-                              rank_tolerance=rank_tolerance)
-        result = mfti(data, options=options)
-        rows.append(AblationRow(
-            setting=f"t={t}",
-            order=result.order,
-            time_seconds=result.elapsed_seconds,
-            error=result.aggregate_error(reference),
-        ))
-    return rows
+    jobs = [
+        FitJob(
+            data,
+            method="mfti",
+            options=MftiOptions(block_size=int(t), rank_method="tolerance",
+                                rank_tolerance=rank_tolerance),
+            label=f"t={t}",
+            tags={"ablation": "weighting", "t": int(t)},
+            reference=reference,
+        )
+        for t in sizes
+    ]
+    return _rows(_run_grid(jobs, engine))
 
 
 def svd_mode_ablation(
@@ -86,6 +130,7 @@ def svd_mode_ablation(
     *,
     block_size: Optional[int] = None,
     rank_tolerance: float = 1e-9,
+    engine: Optional[BatchEngine] = None,
 ) -> list[AblationRow]:
     """Compare the pencil-SVD of Algorithm 1 against the two-sided projection.
 
@@ -93,17 +138,17 @@ def svd_mode_ablation(
     point, first left point, largest sample point) because the paper leaves
     that choice open.
     """
-    rows = []
-    two_sided = MftiOptions(block_size=block_size, svd_mode="two-sided",
-                            rank_tolerance=rank_tolerance)
-    result = mfti(data, options=two_sided)
-    rows.append(AblationRow(
-        setting="two-sided [L sL]/[L; sL]",
-        order=result.order,
-        time_seconds=result.elapsed_seconds,
-        error=result.aggregate_error(reference),
-    ))
-
+    jobs = [
+        FitJob(
+            data,
+            method="mfti",
+            options=MftiOptions(block_size=block_size, svd_mode="two-sided",
+                                rank_tolerance=rank_tolerance),
+            label="two-sided [L sL]/[L; sL]",
+            tags={"ablation": "svd", "mode": "two-sided"},
+            reference=reference,
+        )
+    ]
     omegas = 2.0 * np.pi * data.frequencies_hz
     shifts = {
         "pencil, x0 = j*w_first": 1j * omegas[0],
@@ -111,16 +156,16 @@ def svd_mode_ablation(
         "pencil, x0 = j*w_last": 1j * omegas[-1],
     }
     for label, x0 in shifts.items():
-        options = MftiOptions(block_size=block_size, svd_mode="pencil", x0=complex(x0),
-                              real_output=False, rank_tolerance=rank_tolerance)
-        result = mfti(data, options=options)
-        rows.append(AblationRow(
-            setting=label,
-            order=result.order,
-            time_seconds=result.elapsed_seconds,
-            error=result.aggregate_error(reference),
+        jobs.append(FitJob(
+            data,
+            method="mfti",
+            options=MftiOptions(block_size=block_size, svd_mode="pencil", x0=complex(x0),
+                                real_output=False, rank_tolerance=rank_tolerance),
+            label=label,
+            tags={"ablation": "svd", "mode": "pencil", "x0_imag": float(x0.imag)},
+            reference=reference,
         ))
-    return rows
+    return _rows(_run_grid(jobs, engine))
 
 
 def recursive_parameter_ablation(
@@ -131,25 +176,27 @@ def recursive_parameter_ablation(
     thresholds: Sequence[float] = (1e-1, 1e-2, 1e-3),
     block_size: int = 2,
     rank_tolerance: float = 1e-5,
+    engine: Optional[BatchEngine] = None,
 ) -> list[AblationRow]:
     """Sweep ``k0`` and ``Th`` of the recursive Algorithm 2."""
-    rows = []
+    jobs = []
     for k0 in samples_per_iteration:
         for threshold in thresholds:
-            options = RecursiveOptions(
-                block_size=block_size,
-                samples_per_iteration=int(k0),
-                error_threshold=float(threshold),
-                rank_method="tolerance",
-                rank_tolerance=rank_tolerance,
-            )
-            result = recursive_mfti(data, options=options)
-            recursion = result.metadata["recursion"]
-            rows.append(AblationRow(
-                setting=f"k0={k0}, Th={threshold:g}",
-                order=result.order,
-                time_seconds=result.elapsed_seconds,
-                error=result.aggregate_error(reference),
-                extra=float(recursion.n_iterations),
+            jobs.append(FitJob(
+                data,
+                method="mfti-recursive",
+                options=RecursiveOptions(
+                    block_size=block_size,
+                    samples_per_iteration=int(k0),
+                    error_threshold=float(threshold),
+                    rank_method="tolerance",
+                    rank_tolerance=rank_tolerance,
+                ),
+                label=f"k0={k0}, Th={threshold:g}",
+                tags={"ablation": "recursive", "k0": int(k0), "threshold": float(threshold)},
+                reference=reference,
             ))
-    return rows
+    return _rows(
+        _run_grid(jobs, engine),
+        extra=lambda record: float(record.result.metadata["recursion"].n_iterations),
+    )

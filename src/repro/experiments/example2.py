@@ -24,12 +24,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Optional
 
-import numpy as np
-
+from repro.batch.engine import BatchEngine
+from repro.batch.jobs import FitJob
 from repro.circuits.pdn import PdnConfiguration, power_distribution_network
-from repro.core import mfti, recursive_mfti, vfti
 from repro.core.options import MftiOptions, RecursiveOptions, VftiOptions
 from repro.data import (
     add_measurement_noise,
@@ -46,6 +44,7 @@ __all__ = [
     "Table1Row",
     "Table1Data",
     "build_pdn_datasets",
+    "loewner_table1_jobs",
     "table1_experiment",
 ]
 
@@ -163,22 +162,45 @@ def build_pdn_datasets(config: Example2Config | None = None):
     return test1, test2, validation
 
 
-def _loewner_row(
-    algorithm: str,
-    test: str,
-    runner: Callable[[FrequencyData], object],
+def loewner_table1_jobs(
+    cfg: Example2Config,
+    test_name: str,
     data: FrequencyData,
     validation: FrequencyData,
-) -> Table1Row:
-    result = runner(data)
-    return Table1Row(
-        algorithm=algorithm,
-        test=test,
-        reduced_order=result.order,
-        time_seconds=result.elapsed_seconds,
-        error_vs_measurement=result.aggregate_error(data),
-        error_vs_truth=result.aggregate_error(validation),
-    )
+) -> list[FitJob]:
+    """The Loewner rows of Table 1 for one test, as a batch job grid.
+
+    Both the driver below and ``benchmarks/bench_table1.py`` build their job
+    grids here, so the interactive table and the benchmark sweep are the same
+    workload by construction.
+    """
+    jobs = [FitJob(
+        data,
+        method="vfti",
+        options=VftiOptions(rank_method="tolerance", rank_tolerance=cfg.rank_tolerance),
+        label="VFTI",
+        tags={"test": test_name, "algorithm": "VFTI"},
+        reference=validation,
+    )]
+    for block in cfg.mfti_block_sizes:
+        jobs.append(FitJob(
+            data,
+            method="mfti",
+            options=MftiOptions(block_size=block, rank_method="tolerance",
+                                rank_tolerance=cfg.rank_tolerance),
+            label=f"MFTI-1 t={block}",
+            tags={"test": test_name, "algorithm": f"MFTI-1 t={block}"},
+            reference=validation,
+        ))
+    jobs.append(FitJob(
+        data,
+        method="mfti-recursive",
+        options=cfg.recursive,
+        label="MFTI-2 (recursive)",
+        tags={"test": test_name, "algorithm": "MFTI-2 (recursive)"},
+        reference=validation,
+    ))
+    return jobs
 
 
 def _vf_row(
@@ -208,42 +230,44 @@ def table1_experiment(
     config: Example2Config | None = None,
     *,
     include_vector_fitting: bool = True,
+    engine: BatchEngine | None = None,
 ) -> Table1Data:
     """Run all algorithm settings of Table 1 on both tests and collect the rows.
 
     ``include_vector_fitting=False`` skips the (comparatively slow) VF rows,
-    which is convenient for quick checks and for the test-suite.
+    which is convenient for quick checks and for the test-suite.  All Loewner
+    rows of both tests run as one batch through ``engine`` (default: the
+    serial reference executor), so passing a pooled engine parallelises the
+    whole table.
     """
     cfg = config or Example2Config()
     test1, test2, validation = build_pdn_datasets(cfg)
+    datasets = {"test1": test1, "test2": test2}
+
+    jobs = [
+        job
+        for test_name, data in datasets.items()
+        for job in loewner_table1_jobs(cfg, test_name, data, validation)
+    ]
+    batch = (engine or BatchEngine()).run(jobs).raise_failures(context="Table-1 job")
 
     rows: list[Table1Row] = []
-    for test_name, data in (("test1", test1), ("test2", test2)):
+    for test_name, data in datasets.items():
         if include_vector_fitting:
             for n_poles in cfg.vf_pole_counts:
                 rows.append(_vf_row(
                     f"VF ({cfg.vf_iterations} iterations) n={n_poles}",
                     test_name, n_poles, cfg.vf_iterations, data, validation,
                 ))
-        vfti_opts = VftiOptions(rank_method="tolerance", rank_tolerance=cfg.rank_tolerance)
-        rows.append(_loewner_row(
-            "VFTI", test_name,
-            lambda d, o=vfti_opts: vfti(d, options=o),
-            data, validation,
-        ))
-        for block in cfg.mfti_block_sizes:
-            opts = MftiOptions(block_size=block, rank_method="tolerance",
-                               rank_tolerance=cfg.rank_tolerance)
-            rows.append(_loewner_row(
-                f"MFTI-1 t={block}", test_name,
-                lambda d, o=opts: mfti(d, options=o),
-                data, validation,
+        for record in batch.with_tag("test", test_name):
+            rows.append(Table1Row(
+                algorithm=record.label,
+                test=test_name,
+                reduced_order=record.order,
+                time_seconds=record.result.elapsed_seconds,
+                error_vs_measurement=record.error_vs_data,
+                error_vs_truth=record.error_vs_reference,
             ))
-        rows.append(_loewner_row(
-            "MFTI-2 (recursive)", test_name,
-            lambda d, o=cfg.recursive: recursive_mfti(d, options=o),
-            data, validation,
-        ))
     return Table1Data(
         rows=tuple(rows),
         test1_data=test1,

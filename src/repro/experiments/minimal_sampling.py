@@ -16,7 +16,6 @@ matrices, whereas VFTI needs at least ``n`` samples.  The experiment
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Optional
 

@@ -1,0 +1,86 @@
+"""Shared batch-workload builders.
+
+The batch layer's acceptance workload -- a mixed MFTI/VFTI job grid over the
+noisy 14-port PDN of Example 2 and a lossy lumped transmission line -- is used
+both by ``benchmarks/bench_batch_engine.py`` and by ``examples/batch_sweep.py``.
+Building it here keeps the two in sync by construction (the same pattern as
+:func:`repro.experiments.example2.loewner_table1_jobs` for Table 1).
+"""
+
+from __future__ import annotations
+
+from repro.batch.jobs import FitJob
+from repro.circuits.mna import netlist_to_descriptor
+from repro.circuits.transmission_line import lumped_transmission_line
+from repro.core.options import MftiOptions, RecursiveOptions, VftiOptions
+from repro.data import add_measurement_noise, linear_frequencies, sample_scattering
+from repro.experiments.example2 import Example2Config, build_pdn_datasets
+
+__all__ = ["mixed_batch_jobs"]
+
+
+def mixed_batch_jobs(
+    *,
+    pdn_samples: int = 140,
+    pdn_validation: int = 160,
+    line_sections: int = 40,
+    line_samples: int = 100,
+    line_validation: int = 200,
+    mfti_block_sizes: tuple[int, ...] = (2, 3),
+) -> list[FitJob]:
+    """Mixed MFTI/VFTI jobs over a noisy PDN and a transmission-line dataset.
+
+    With the defaults this is an 8-job grid: for each of the two workloads one
+    VFTI job, one MFTI job per entry of ``mfti_block_sizes``, and one
+    recursive-MFTI job -- every job with a clean dense validation sweep
+    attached so records carry a ground-truth error.  Block sizes are clamped
+    to each workload's port count, de-duplicated, and backfilled with unused
+    smaller sizes, so the per-workload job count is preserved whenever the
+    port count offers enough distinct sizes.
+    """
+    cfg = Example2Config(n_samples=pdn_samples, n_validation=pdn_validation)
+    pdn_data, _, pdn_reference = build_pdn_datasets(cfg)
+
+    line = netlist_to_descriptor(lumped_transmission_line(0.1, line_sections))
+    line_data = add_measurement_noise(
+        sample_scattering(line, linear_frequencies(1e6, 5e9, line_samples),
+                          label="transmission line"),
+        relative_level=1e-6, seed=5)
+    line_reference = sample_scattering(
+        line, linear_frequencies(1e6, 5e9, line_validation), label="tl validation")
+
+    jobs: list[FitJob] = []
+    for name, data, reference, tolerance in (
+        ("pdn", pdn_data, pdn_reference, cfg.rank_tolerance),
+        ("tline", line_data, line_reference, 1e-7),
+    ):
+        jobs.append(FitJob(data, method="vfti",
+                           options=VftiOptions(rank_method="tolerance",
+                                               rank_tolerance=tolerance),
+                           label=f"{name}/vfti", tags={"workload": name},
+                           reference=reference))
+        # clamp the requested block sizes to the port count and de-duplicate
+        # (a 2-port line would otherwise run t=2 twice, once labelled t=3),
+        # then backfill with unused smaller sizes to preserve the job count
+        # where the port count allows it
+        blocks = list(dict.fromkeys(min(block, data.n_ports)
+                                    for block in mfti_block_sizes))
+        unused = [t for t in range(data.n_ports, 0, -1) if t not in blocks]
+        while len(blocks) < len(mfti_block_sizes) and unused:
+            blocks.insert(0, unused.pop())
+        for block in blocks:
+            jobs.append(FitJob(data, method="mfti",
+                               options=MftiOptions(block_size=block,
+                                                   rank_method="tolerance",
+                                                   rank_tolerance=tolerance),
+                               label=f"{name}/mfti-t{block}", tags={"workload": name},
+                               reference=reference))
+        jobs.append(FitJob(data, method="mfti-recursive",
+                           options=RecursiveOptions(block_size=2,
+                                                    samples_per_iteration=8,
+                                                    initial_samples=16,
+                                                    rank_method="tolerance",
+                                                    rank_tolerance=tolerance),
+                           label=f"{name}/mfti-recursive", tags={"workload": name},
+                           reference=reference))
+    return jobs

@@ -10,7 +10,7 @@ seed is supplied and independent when it is not.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

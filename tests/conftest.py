@@ -11,7 +11,7 @@ import numpy as np
 import pytest
 
 from repro.circuits.pdn import PdnConfiguration, power_distribution_network
-from repro.data import linear_frequencies, log_frequencies, sample_scattering
+from repro.data import log_frequencies, sample_scattering
 from repro.data.noise import add_measurement_noise
 from repro.systems.random_systems import random_stable_system
 

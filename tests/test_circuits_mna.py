@@ -10,7 +10,6 @@ import pytest
 
 from repro.circuits.mna import assemble_mna, netlist_to_descriptor
 from repro.circuits.netlist import Netlist
-from repro.systems.analysis import is_stable
 
 
 def _z(system, f):
@@ -44,25 +43,25 @@ class TestElementaryCircuits:
         assert _z(sys_, f)[0, 0] == pytest.approx(expected, rel=1e-9)
 
     def test_rl_series_impedance(self):
-        r, l = 10.0, 1e-6
+        r, ind = 10.0, 1e-6
         net = Netlist()
         net.add_resistor("a", "b", r)
-        net.add_inductor("b", "0", l)
+        net.add_inductor("b", "0", ind)
         net.add_port("a")
         sys_ = netlist_to_descriptor(net)
         f = 1e5
-        expected = r + 1j * 2 * np.pi * f * l
+        expected = r + 1j * 2 * np.pi * f * ind
         assert _z(sys_, f)[0, 0] == pytest.approx(expected, rel=1e-9)
 
     def test_series_rlc_resonance(self):
-        r, l, c = 1.0, 1e-6, 1e-9
+        r, ind, c = 1.0, 1e-6, 1e-9
         net = Netlist()
         net.add_resistor("a", "b", r)
-        net.add_inductor("b", "c", l)
+        net.add_inductor("b", "c", ind)
         net.add_capacitor("c", "0", c)
         net.add_port("a")
         sys_ = netlist_to_descriptor(net)
-        f0 = 1.0 / (2 * np.pi * np.sqrt(l * c))
+        f0 = 1.0 / (2 * np.pi * np.sqrt(ind * c))
         # at the series resonance the impedance is purely the resistance
         assert _z(sys_, f0)[0, 0] == pytest.approx(r, rel=1e-6)
 
@@ -82,10 +81,10 @@ class TestElementaryCircuits:
 
     def test_coupled_inductors_mutual_term(self):
         """Two coupled inductors to ground: Z12 = j*w*M."""
-        l, k = 1e-6, 0.5
+        ind, k = 1e-6, 0.5
         net = Netlist()
-        net.add_inductor("a", "0", l, name="La")
-        net.add_inductor("b", "0", l, name="Lb")
+        net.add_inductor("a", "0", ind, name="La")
+        net.add_inductor("b", "0", ind, name="Lb")
         net.add_mutual("La", "Lb", k)
         net.add_resistor("a", "0", 1e6)
         net.add_resistor("b", "0", 1e6)
@@ -93,7 +92,7 @@ class TestElementaryCircuits:
         net.add_port("b")
         f = 1e5
         z = _z(netlist_to_descriptor(net), f)
-        expected_mutual = 1j * 2 * np.pi * f * k * l
+        expected_mutual = 1j * 2 * np.pi * f * k * ind
         assert z[0, 1] == pytest.approx(expected_mutual, rel=1e-3)
         assert z[1, 0] == pytest.approx(expected_mutual, rel=1e-3)
 

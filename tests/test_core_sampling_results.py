@@ -6,7 +6,6 @@ import pytest
 from repro.core import mfti
 from repro.core.results import MacromodelResult, RecursiveDiagnostics, RecursiveIteration
 from repro.core.sampling import minimal_sample_count, recommend_sample_count
-from repro.systems.random_systems import random_stable_system
 
 
 class TestMinimalSampleCount:

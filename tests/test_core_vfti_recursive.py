@@ -1,6 +1,5 @@
 """Tests for the VFTI baseline and the recursive Algorithm 2."""
 
-import numpy as np
 import pytest
 
 from repro.core import RecursiveOptions, VftiOptions, mfti, recursive_mfti, vfti

@@ -5,7 +5,7 @@ import pytest
 
 from repro.circuits.pdn import PdnConfiguration
 from repro.core.options import RecursiveOptions
-from repro.data import linear_frequencies, sample_scattering
+from repro.data import sample_scattering
 from repro.experiments.ablations import (
     recursive_parameter_ablation,
     svd_mode_ablation,

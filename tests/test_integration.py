@@ -6,10 +6,7 @@ validation, mixing modules that the unit tests cover in isolation.
 """
 
 import numpy as np
-import pytest
-
 from repro import (
-    MftiOptions,
     add_measurement_noise,
     linear_frequencies,
     log_frequencies,
