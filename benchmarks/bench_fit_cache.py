@@ -1,0 +1,86 @@
+"""Fit cache -- warm-sweep speedup and cold/warm equivalence on the mixed grid.
+
+The cache's acceptance contract: a second, identical ``BatchEngine`` sweep
+over a shared :class:`~repro.cache.DiskStore` must
+
+* report **100 % cache hits** (every fit and every model evaluation replays),
+* reproduce the cold sweep **bitwise** (checked through the engine's own
+  ``numerical_differences`` contract), and
+* run at least **5x faster** wall-clock than the cold sweep.
+
+The workload is the same eight-job PDN + transmission-line grid as
+``bench_batch_engine.py``.  Timings land in ``BENCH_fit_cache.json``; the CI
+perf-smoke step (``benchmarks/check_cache_speedup.py``) diffs the warm vs
+cold numbers and fails the build when warm sweeps stop being faster.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.batch import BatchEngine, numerical_differences
+from repro.cache import FitCache
+from repro.experiments.workloads import mixed_batch_jobs
+
+#: The acceptance floor; observed warm speedups are an order of magnitude
+#: higher (the warm path only hashes datasets and loads NPZ payloads).
+MIN_WARM_SPEEDUP = 5.0
+
+
+@pytest.fixture(scope="module")
+def job_grid():
+    """The eight-job mixed MFTI/VFTI grid shared with bench_batch_engine."""
+    return mixed_batch_jobs()
+
+
+def test_warm_sweep_speedup(benchmark, job_grid, fit_cache_dir, reportable,
+                            json_reportable):
+    """Cold vs fully-warm sweep over one DiskStore: all hits, equal, >=5x."""
+    cache = FitCache.on_disk(fit_cache_dir / "bench-fit-cache")
+    engine = BatchEngine(cache=cache)
+
+    cold = engine.run(job_grid)
+    assert cold.n_failed == 0, cold.failures
+    assert cold.n_cache_misses == cold.n_jobs  # nothing pre-warmed
+
+    warm = benchmark.pedantic(lambda: engine.run(job_grid), rounds=1, iterations=1)
+    assert warm.n_failed == 0, warm.failures
+    assert warm.n_cache_hits == warm.n_jobs  # 100 % hits
+    assert not numerical_differences(cold, warm)  # bitwise-equal payloads
+
+    stats = cache.stats()
+    assert stats.eval_hits == 2 * warm.n_jobs  # measurement + validation errors
+
+    speedup = cold.wall_seconds / warm.wall_seconds
+    reportable("fit_cache.txt", "\n\n".join([
+        cold.summary_table(title="fit cache: cold sweep (populates the store)"),
+        warm.summary_table(title=f"fit cache: warm sweep ({speedup:.1f}x faster)"),
+    ]))
+    json_reportable("fit_cache", {
+        "n_jobs": cold.n_jobs,
+        "cold_wall_seconds": cold.wall_seconds,
+        "warm_wall_seconds": warm.wall_seconds,
+        "speedup_warm_vs_cold": speedup,
+        "warm_cache_hits": warm.n_cache_hits,
+        "warm_cache_misses": warm.n_cache_misses,
+        "cache_stats": stats.to_dict(),
+        "jobs": [record.to_dict() for record in warm.records],
+    })
+    benchmark.extra_info.update({
+        "cold_wall_seconds": cold.wall_seconds,
+        "speedup_warm_vs_cold": speedup,
+    })
+    assert speedup >= MIN_WARM_SPEEDUP, (
+        f"warm sweep only {speedup:.1f}x faster than cold "
+        f"(required: {MIN_WARM_SPEEDUP:.0f}x)"
+    )
+
+
+def test_process_workers_share_disk_cache(job_grid, fit_cache_dir):
+    """A warm process-executor sweep replays a serial cold sweep via disk."""
+    cache = FitCache.on_disk(fit_cache_dir / "bench-fit-cache-process")
+    cold = BatchEngine(cache=cache).run(job_grid)
+    warm = BatchEngine(executor="process", max_workers=2, chunk_size=2,
+                       cache=cache).run(job_grid)
+    assert warm.n_cache_hits == warm.n_jobs
+    assert not numerical_differences(cold, warm)

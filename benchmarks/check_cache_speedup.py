@@ -1,0 +1,67 @@
+"""CI perf-smoke gate: warm cache sweeps must actually be faster.
+
+Reads a ``BENCH_fit_cache.json`` export (written by ``bench_fit_cache.py``),
+diffs the warm vs cold wall-clock timings, and exits non-zero when the warm
+sweep is not at least ``--min-speedup`` times faster (default 5x, the cache's
+acceptance floor) or when any warm job missed the cache.
+
+Usage::
+
+    python benchmarks/check_cache_speedup.py benchmarks/results/BENCH_fit_cache.json
+    python benchmarks/check_cache_speedup.py --min-speedup 3 path/to/BENCH_fit_cache.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def check(path: str, min_speedup: float) -> list[str]:
+    """Every violated expectation in the export, as human-readable strings."""
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    problems = []
+    cold = payload.get("cold_wall_seconds")
+    warm = payload.get("warm_wall_seconds")
+    if not isinstance(cold, (int, float)) or not isinstance(warm, (int, float)):
+        return [f"{path}: missing cold/warm wall-clock timings"]
+    if warm >= cold:
+        problems.append(
+            f"warm sweep ({warm:.3f}s) is not faster than cold ({cold:.3f}s)"
+        )
+    speedup = cold / warm if warm > 0 else float("inf")
+    if speedup < min_speedup:
+        problems.append(
+            f"warm speedup {speedup:.2f}x below the {min_speedup:g}x floor "
+            f"(cold {cold:.3f}s, warm {warm:.3f}s)"
+        )
+    n_jobs = payload.get("n_jobs", 0)
+    if payload.get("warm_cache_hits") != n_jobs:
+        problems.append(
+            f"warm sweep hit the cache on {payload.get('warm_cache_hits')}/{n_jobs} jobs"
+        )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", help="path to BENCH_fit_cache.json")
+    parser.add_argument("--min-speedup", type=float, default=5.0,
+                        help="required warm-vs-cold speedup factor (default: 5)")
+    args = parser.parse_args(argv)
+    problems = check(args.report, args.min_speedup)
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    with open(args.report, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    print(f"ok: warm sweep {payload['speedup_warm_vs_cold']:.1f}x faster than cold "
+          f"({payload['warm_cache_hits']}/{payload['n_jobs']} cache hits)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

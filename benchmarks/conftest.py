@@ -86,3 +86,16 @@ def json_reportable():
         path = save_json_report(name, payload)
         print(f"[machine-readable report saved to {path}]")
     return _report
+
+
+@pytest.fixture(scope="session")
+def fit_cache_dir(tmp_path_factory):
+    """Session-unique root directory for on-disk fit caches.
+
+    Shared (same name, same semantics) with ``tests/conftest.py``.
+    ``tmp_path_factory`` derives from pytest's numbered, lock-protected
+    basetemp, so concurrent pytest runs on one machine each get their own
+    store and never collide; within a session the path is stable, so every
+    benchmark reuses one deterministic cache location.
+    """
+    return tmp_path_factory.mktemp("fit-cache")

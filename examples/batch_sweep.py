@@ -7,7 +7,9 @@ the repository (port sweeps, noise studies, ablation grids):
    (dataset + method + options + tags + validation data),
 2. hand the whole grid to a :class:`~repro.batch.BatchEngine` and pick an
    executor -- ``serial``, ``thread`` or ``process``,
-3. read the aggregate report and export the machine-readable JSON.
+3. read the aggregate report and export the machine-readable JSON,
+4. re-run the sweep over a shared on-disk :class:`~repro.cache.FitCache`
+   and watch every job replay instead of recompute.
 
 The grid here is the acceptance workload of the batch layer: eight jobs
 mixing MFTI and VFTI over a noisy 14-port PDN and a lossy transmission line.
@@ -20,8 +22,10 @@ Run with ``python examples/batch_sweep.py``.
 from __future__ import annotations
 
 import os
+import tempfile
 
 from repro.batch import BatchEngine, FitJob
+from repro.cache import FitCache
 from repro.experiments.workloads import mixed_batch_jobs
 
 
@@ -39,26 +43,37 @@ def main() -> None:
     jobs = build_jobs()
 
     executor = "process" if (os.cpu_count() or 1) >= 2 else "serial"
-    engine = BatchEngine(executor=executor, max_workers=2)
-    print(f"running {len(jobs)} jobs with the {engine.executor!r} executor "
-          f"({engine.n_workers} workers, chunk size "
-          f"{engine.resolve_chunk_size(len(jobs))})\n")
+    with tempfile.TemporaryDirectory(prefix="repro-fit-cache-") as cache_dir:
+        # a DiskStore-backed cache is shared across executors and re-runs;
+        # set REPRO_FIT_CACHE=off to switch caching off without code changes
+        cache = FitCache.on_disk(cache_dir)
+        engine = BatchEngine(executor=executor, max_workers=2, cache=cache)
+        print(f"running {len(jobs)} jobs with the {engine.executor!r} executor "
+              f"({engine.n_workers} workers, chunk size "
+              f"{engine.resolve_chunk_size(len(jobs))})\n")
 
-    result = engine.run(jobs)
-    print(result.summary_table())
+        result = engine.run(jobs)
+        print(result.summary_table())
 
-    for failure in result.failures:
-        print(f"\ncaptured failure in {failure.label!r}: "
-              f"{failure.error_type}: {failure.error_message}")
+        for failure in result.failures:
+            print(f"\ncaptured failure in {failure.label!r}: "
+                  f"{failure.error_type}: {failure.error_message}")
 
-    best = result.best()
-    print(f"\nmost accurate fit: {best.label} "
-          f"(order {best.order}, error {best.error_vs_reference:.2e})")
-    print(f"serial-equivalent cost {result.total_fit_seconds:.2f}s, "
-          f"wall {result.wall_seconds:.2f}s")
+        best = result.best()
+        print(f"\nmost accurate fit: {best.label} "
+              f"(order {best.order}, error {best.error_vs_reference:.2e})")
+        print(f"serial-equivalent cost {result.total_fit_seconds:.2f}s, "
+              f"wall {result.wall_seconds:.2f}s")
 
-    path = result.save_json(os.path.join("benchmarks", "results", "batch_sweep.json"))
-    print(f"JSON export saved to {path}")
+        path = result.save_json(os.path.join("benchmarks", "results", "batch_sweep.json"))
+        print(f"JSON export saved to {path}")
+
+        # identical re-sweep: every fit and model evaluation replays from disk
+        rerun = engine.run(jobs)
+        print(f"\nre-sweep over the warm cache: "
+              f"{rerun.n_cache_hits}/{rerun.n_jobs} cache hits, "
+              f"wall {rerun.wall_seconds:.2f}s "
+              f"({result.wall_seconds / max(rerun.wall_seconds, 1e-9):.0f}x faster)")
 
 
 if __name__ == "__main__":

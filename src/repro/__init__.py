@@ -28,6 +28,9 @@ Top-level layout
 ``repro.batch``
     Batch macromodeling engine: declarative fit jobs run through serial /
     thread / process executors with per-job error capture and JSON reports.
+``repro.cache``
+    Content-addressed fit cache: dataset/options fingerprints, memory and
+    disk stores, transparent replay through ``run_fit`` and the batch engine.
 ``repro.experiments``
     Drivers that regenerate every figure and table of the paper.
 
@@ -43,6 +46,7 @@ True
 """
 
 from repro.batch import BatchEngine, BatchResult, FitJob
+from repro.cache import DiskStore, FitCache, MemoryStore, dataset_fingerprint, fit_key
 from repro.core import (
     MacromodelResult,
     MftiOptions,
@@ -83,6 +87,11 @@ __all__ = [
     "BatchEngine",
     "BatchResult",
     "FitJob",
+    "FitCache",
+    "MemoryStore",
+    "DiskStore",
+    "dataset_fingerprint",
+    "fit_key",
     "minimal_sample_count",
     "MacromodelResult",
     "MftiOptions",

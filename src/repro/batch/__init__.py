@@ -24,6 +24,12 @@ to run identical code::
     result = BatchEngine(executor="process", max_workers=4).run(jobs)
     print(result.summary_table())
     result.save_json("sweep.json")
+
+Pass a shared :class:`~repro.cache.FitCache` (``BatchEngine(cache=...)``) and
+repeated jobs -- across chunks, executors and whole re-runs -- replay from
+the content-addressed fit cache instead of recomputing; per-job hit/miss
+statuses land on the records and the batch-level counters in the table
+heading and the JSON export.
 """
 
 from repro.batch.engine import EXECUTORS, BatchEngine

@@ -30,15 +30,17 @@ from typing import Iterable, Optional, Sequence
 
 from repro.batch.jobs import FitJob, JobRecord, run_job
 from repro.batch.results import BatchResult
+from repro.cache.fitcache import FitCache
+from repro.cache.stores import MemoryStore
 
 __all__ = ["BatchEngine", "EXECUTORS"]
 
 EXECUTORS = ("serial", "thread", "process")
 
 
-def _run_chunk(chunk: Sequence[tuple[int, FitJob]]) -> list[JobRecord]:
+def _run_chunk(chunk: Sequence[tuple[int, FitJob]], cache=None) -> list[JobRecord]:
     """Run one contiguous chunk of (index, job) pairs (worker-side entry point)."""
-    return [run_job(index, job) for index, job in chunk]
+    return [run_job(index, job, cache) for index, job in chunk]
 
 
 @dataclass(frozen=True)
@@ -56,11 +58,19 @@ class BatchEngine:
         so each worker sees a few chunks (cheap load balancing) while keeping
         per-chunk overhead low.  Chunking is deterministic: the same jobs and
         chunk size always produce the same chunks.
+    cache:
+        Optional shared :class:`~repro.cache.FitCache`: every job dispatches
+        through the cached fit path, so repeated jobs -- across chunks,
+        executors and whole re-runs -- replay instead of recomputing.  Use a
+        :class:`~repro.cache.DiskStore`-backed cache with the ``process``
+        executor (workers hold private copies of a memory store); per-job
+        hit/miss statuses come back on the records either way.
     """
 
     executor: str = "serial"
     max_workers: Optional[int] = None
     chunk_size: Optional[int] = None
+    cache: Optional[FitCache] = None
 
     def __post_init__(self):
         if self.executor not in EXECUTORS:
@@ -111,6 +121,22 @@ class BatchEngine:
         indexed = list(enumerate(jobs))
         return [indexed[start:start + size] for start in range(0, len(indexed), size)]
 
+    def _worker_cache(self) -> Optional[FitCache]:
+        """The cache object actually shipped to executor workers.
+
+        A memory-backed cache cannot propagate state across process workers
+        anyway, so for the ``process`` executor its (possibly payload-laden)
+        store is replaced by an empty one with the same bound -- shipping
+        the populated store would pickle every cached fit once per chunk for
+        zero cross-run benefit.  Disk-backed caches travel as-is (they only
+        carry a path) and give workers real shared hits.
+        """
+        if self.cache is None or self.executor != "process":
+            return self.cache
+        if isinstance(self.cache.store, MemoryStore):
+            return FitCache(MemoryStore(self.cache.store.max_entries))
+        return self.cache
+
     def run(self, jobs: Iterable[FitJob]) -> BatchResult:
         """Run every job and return the assembled :class:`BatchResult`.
 
@@ -121,12 +147,13 @@ class BatchEngine:
         job_list = list(jobs)
         started = time.perf_counter()
         chunks = self._chunks(job_list)
+        cache = self._worker_cache()
         if self.executor == "serial":
-            chunk_records = [_run_chunk(chunk) for chunk in chunks]
+            chunk_records = [_run_chunk(chunk, cache) for chunk in chunks]
         else:
             pool_cls = ThreadPoolExecutor if self.executor == "thread" else ProcessPoolExecutor
             with pool_cls(max_workers=self.n_workers) as pool:
-                futures = [pool.submit(_run_chunk, chunk) for chunk in chunks]
+                futures = [pool.submit(_run_chunk, chunk, cache) for chunk in chunks]
                 chunk_records = [future.result() for future in futures]
         records = sorted(
             (record for chunk in chunk_records for record in chunk),

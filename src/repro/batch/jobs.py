@@ -105,6 +105,11 @@ class JobRecord:
     error_vs_reference:
         Aggregate error against ``job.reference`` (``nan`` when no reference
         was given or the job failed).
+    cache_status:
+        ``"hit"`` / ``"miss"`` / ``"skipped"`` when the batch ran with a
+        :class:`~repro.cache.FitCache`, ``None`` otherwise.  Carried on the
+        record (not only on the cache object) so the counters survive the
+        process executor, whose workers hold private cache copies.
     error_type, error_message, error_traceback:
         Exception details of a failed job (``None`` on success).
 
@@ -122,6 +127,7 @@ class JobRecord:
     elapsed_seconds: float = 0.0
     error_vs_data: float = float("nan")
     error_vs_reference: float = float("nan")
+    cache_status: Optional[str] = None
     error_type: Optional[str] = None
     error_message: Optional[str] = None
     error_traceback: Optional[str] = None
@@ -147,6 +153,7 @@ class JobRecord:
             "error_vs_reference": (
                 None if math.isnan(self.error_vs_reference) else self.error_vs_reference
             ),
+            "cache": self.cache_status,
             "error": (
                 None
                 if self.ok
@@ -155,20 +162,43 @@ class JobRecord:
         }
 
 
-def run_job(index: int, job: FitJob) -> JobRecord:
+def run_job(index: int, job: FitJob, cache=None) -> JobRecord:
     """Execute one job, capturing any exception into the returned record.
 
     This is a module-level function so the process backend can pickle it; it
-    is the only place batch work actually calls into the fitting code.
+    is the only place batch work actually calls into the fitting code.  With
+    a :class:`~repro.cache.FitCache` the fit dispatches through the cached
+    path and the record carries the per-job hit/miss status; a failing job
+    never populates the cache.
     """
     started = time.perf_counter()
+    cache_status: Optional[str] = None
     try:
-        result = run_fit(job.data, method=job.method, options=job.options)
-        error_vs_reference = (
-            result.aggregate_error(job.reference)
-            if job.reference is not None
-            else float("nan")
-        )
+        fit_key: Optional[str] = None
+        if cache is not None:
+            from repro.cache.fitcache import fit_with_cache
+
+            result, cache_status, fit_key = fit_with_cache(
+                job.data, method=job.method, options=job.options, cache=cache
+            )
+        else:
+            result = run_fit(job.data, method=job.method, options=job.options)
+        if fit_key is not None:
+            # memoized evaluations: on warm sweeps the error evaluations
+            # dominate the wall clock, not the (skipped) fits
+            error_vs_data = cache.cached_aggregate_error(fit_key, result, job.data)
+            error_vs_reference = (
+                cache.cached_aggregate_error(fit_key, result, job.reference)
+                if job.reference is not None
+                else float("nan")
+            )
+        else:
+            error_vs_data = result.aggregate_error(job.data)
+            error_vs_reference = (
+                result.aggregate_error(job.reference)
+                if job.reference is not None
+                else float("nan")
+            )
         return JobRecord(
             index=index,
             label=job.label,
@@ -178,8 +208,9 @@ def run_job(index: int, job: FitJob) -> JobRecord:
             result=result,
             order=result.order,
             elapsed_seconds=time.perf_counter() - started,
-            error_vs_data=result.aggregate_error(job.data),
+            error_vs_data=error_vs_data,
             error_vs_reference=error_vs_reference,
+            cache_status=cache_status,
         )
     except Exception as exc:  # noqa: BLE001 - per-job isolation is the point
         return JobRecord(
@@ -189,6 +220,7 @@ def run_job(index: int, job: FitJob) -> JobRecord:
             tags=dict(job.tags),
             status="failed",
             elapsed_seconds=time.perf_counter() - started,
+            cache_status=cache_status,
             error_type=type(exc).__name__,
             error_message=str(exc),
             error_traceback=traceback.format_exc(),

@@ -3,9 +3,9 @@
 The :class:`BatchResult` is the store every batch consumer works against: the
 benchmarks render its summary table, the CI artifact step serialises it with
 :meth:`BatchResult.save_json`, and sweep analyses filter records by tag.  The
-JSON schema (``schema_version`` 1) is deliberately small and stable --
-per-record scalars plus batch-level aggregates -- so perf-regression gates can
-diff exports across commits.
+JSON schema (``schema_version`` 2: version 1 plus the cache hit/miss fields)
+is deliberately small and stable -- per-record scalars plus batch-level
+aggregates -- so perf-regression gates can diff exports across commits.
 """
 
 from __future__ import annotations
@@ -22,7 +22,7 @@ from repro.batch.jobs import JobRecord
 
 __all__ = ["BatchResult", "numerical_differences"]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 def _json_safe(value):
@@ -125,6 +125,21 @@ class BatchResult:
         """Sum of the per-job times (the serial-equivalent cost of the batch)."""
         return float(sum(record.elapsed_seconds for record in self.records))
 
+    @property
+    def n_cache_hits(self) -> int:
+        """Jobs replayed from the fit cache (0 when the batch ran uncached)."""
+        return sum(1 for record in self.records if record.cache_status == "hit")
+
+    @property
+    def n_cache_misses(self) -> int:
+        """Jobs that consulted the fit cache but had to compute."""
+        return sum(1 for record in self.records if record.cache_status == "miss")
+
+    @property
+    def used_cache(self) -> bool:
+        """Whether any job of this batch went through a fit cache."""
+        return any(record.cache_status is not None for record in self.records)
+
     def raise_failures(self, *, context: str = "batch job") -> "BatchResult":
         """Fail-fast helper: raise on the first failed record, else return ``self``.
 
@@ -174,9 +189,10 @@ class BatchResult:
         # imported here: repro.experiments (the package) consumes repro.batch
         from repro.experiments.reporting import format_table
 
+        with_cache = self.used_cache
         rows = []
         for record in self.records:
-            rows.append([
+            row = [
                 record.index,
                 record.label,
                 record.method,
@@ -186,16 +202,19 @@ class BatchResult:
                 record.error_vs_reference
                 if not math.isnan(record.error_vs_reference)
                 else "-",
-            ])
+            ]
+            if with_cache:
+                row.append(record.cache_status or "-")
+            rows.append(row)
         heading = title or (
             f"batch: {self.n_ok}/{self.n_jobs} ok, executor={self.executor} "
             f"(workers={self.n_workers}), wall={self.wall_seconds:.3f}s"
+            + (f", cache hits={self.n_cache_hits}/{self.n_jobs}" if with_cache else "")
         )
-        return format_table(
-            ["#", "job", "method", "status", "order", "time (s)", "error vs reference"],
-            rows,
-            title=heading,
-        )
+        columns = ["#", "job", "method", "status", "order", "time (s)", "error vs reference"]
+        if with_cache:
+            columns.append("cache")
+        return format_table(columns, rows, title=heading)
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-safe summary of the whole batch."""
@@ -207,6 +226,8 @@ class BatchResult:
             "n_jobs": self.n_jobs,
             "n_ok": self.n_ok,
             "n_failed": self.n_failed,
+            "n_cache_hits": self.n_cache_hits,
+            "n_cache_misses": self.n_cache_misses,
             "wall_seconds": self.wall_seconds,
             "total_fit_seconds": self.total_fit_seconds,
             "jobs": [record.to_dict() for record in self.records],

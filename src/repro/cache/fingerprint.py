@@ -1,0 +1,121 @@
+"""Content-addressed fingerprints for datasets and fit configurations.
+
+A fit is fully determined by *what* is interpolated (the
+:class:`~repro.data.dataset.FrequencyData`) and *how* (the method name plus
+its options).  Both halves are hashed into short hex digests:
+
+* :func:`dataset_fingerprint` hashes the numerical content -- frequencies,
+  sample matrices (shape, dtype and bytes), parameter kind and reference
+  impedance.  The free-form ``label`` is deliberately excluded: renaming a
+  dataset must not invalidate cached fits.
+* :func:`options_fingerprint` hashes the method name, the options class and
+  the canonical field encoding of
+  :meth:`~repro.core.options.InterpolationOptions.canonical_items`.
+* :func:`fit_key` combines the two into the key the cache stores live under.
+
+All digests are SHA-256 (truncation-free), so collisions are not a practical
+concern and equal keys can be treated as equal fits.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional
+
+import numpy as np
+
+from repro.core.options import InterpolationOptions
+from repro.data.dataset import FrequencyData
+
+__all__ = ["dataset_fingerprint", "options_fingerprint", "fit_key", "evaluation_key"]
+
+#: Bump when the hashed representation changes so old digests cannot alias.
+_FINGERPRINT_VERSION = 1
+
+
+def _hash_array(digest: "hashlib._Hash", name: str, array: np.ndarray) -> None:
+    """Feed one array into the digest: name, dtype, shape, then raw bytes."""
+    array = np.ascontiguousarray(array)
+    digest.update(f"{name}|{array.dtype.str}|{array.shape}|".encode())
+    digest.update(array.tobytes())
+
+
+def dataset_fingerprint(data: FrequencyData) -> str:
+    """SHA-256 hex digest of the numerical content of ``data``.
+
+    Two datasets get the same fingerprint iff they hold bitwise-identical
+    frequencies and samples of the same shape, the same parameter kind and
+    the same reference impedance -- regardless of label, array memory layout
+    or whether the arrays are views or copies.
+
+    The digest is memoized on the instance (safe: ``FrequencyData`` freezes
+    its arrays read-only on construction), because every warm cache lookup
+    hashes the dataset up to three times -- once for the fit key, once per
+    memoized evaluation -- and many jobs share one dataset.
+    """
+    if not isinstance(data, FrequencyData):
+        raise TypeError(f"expected FrequencyData, got {type(data).__name__}")
+    memo = getattr(data, "_fingerprint_memo", None)
+    if memo is not None:
+        return memo
+    digest = hashlib.sha256()
+    digest.update(f"repro-dataset-v{_FINGERPRINT_VERSION}|".encode())
+    digest.update(f"kind:{data.kind}|z0:{float(data.reference_impedance).hex()}|".encode())
+    _hash_array(digest, "frequencies_hz", data.frequencies_hz)
+    _hash_array(digest, "samples", data.samples)
+    fingerprint = digest.hexdigest()
+    object.__setattr__(data, "_fingerprint_memo", fingerprint)  # frozen dataclass
+    return fingerprint
+
+
+def options_fingerprint(method: str, options: Optional[InterpolationOptions]) -> str:
+    """SHA-256 hex digest of one fit configuration (method name + options).
+
+    ``None`` options hash like the method's defaults would, because the
+    front-ends construct the default options object in that case; callers
+    that want the exact equivalence should normalise first (as
+    :func:`repro.cache.fit_with_cache` does).
+
+    Raises
+    ------
+    TypeError
+        If the options carry a value without a stable encoding (e.g. a live
+        ``numpy.random.Generator`` seed).
+    """
+    digest = hashlib.sha256()
+    digest.update(f"repro-options-v{_FINGERPRINT_VERSION}|method:{method}|".encode())
+    if options is None:
+        from repro.core._pipeline import frontend_spec
+
+        options = frontend_spec(method).options_type()
+    digest.update(f"type:{type(options).__name__}|".encode())
+    for name, token in options.canonical_items():
+        digest.update(f"{name}={token}|".encode())
+    return digest.hexdigest()
+
+
+def fit_key(data: FrequencyData, method: str, options: Optional[InterpolationOptions]) -> str:
+    """The content-addressed key one fit is cached under."""
+    digest = hashlib.sha256()
+    digest.update(f"repro-fit-v{_FINGERPRINT_VERSION}|".encode())
+    digest.update(dataset_fingerprint(data).encode())
+    digest.update(b"|")
+    digest.update(options_fingerprint(method, options).encode())
+    return digest.hexdigest()
+
+
+def evaluation_key(fit: str, data: FrequencyData) -> str:
+    """The key one model evaluation (aggregate error) is cached under.
+
+    An aggregate error is a pure function of the recovered model and the
+    data it is evaluated against; the model is pinned by its ``fit`` key, so
+    ``(fit key, evaluation-dataset fingerprint)`` addresses the scalar.  This
+    is what lets a *warm* batch sweep skip the (surprisingly dominant) model
+    evaluations along with the fits themselves.
+    """
+    digest = hashlib.sha256()
+    digest.update(f"repro-eval-v{_FINGERPRINT_VERSION}|".encode())
+    digest.update(fit.encode())
+    digest.update(b"|")
+    digest.update(dataset_fingerprint(data).encode())
+    return digest.hexdigest()

@@ -1,0 +1,219 @@
+"""Converting :class:`~repro.core.results.MacromodelResult` to/from payloads.
+
+A cached fit is stored as a *payload*: a dict of numpy arrays (the recovered
+system matrices and the singular-value profiles -- everything that must
+round-trip bitwise) plus a JSON-safe metadata dict (method, diagnostics,
+front-end metadata).  Both stores persist the same payload, so memory- and
+disk-cached fits are reconstructed by exactly the same code.
+
+The heavyweight intermediates -- the tangential data and the Loewner pencil
+-- are deliberately *not* stored: they are derivable by re-running the fit,
+they dominate the result's footprint, and no downstream consumer of a cached
+fit (error metrics, tables, model export) reads them.  A reconstructed result
+therefore carries ``tangential=None`` / ``pencil=None``.
+
+Not every result is serializable (front-ends may attach arbitrary metadata);
+:exc:`UncacheableResultError` signals "skip caching this one", never a user
+error.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.core.realization import RealizationDiagnostics
+from repro.core.results import MacromodelResult, RecursiveDiagnostics, RecursiveIteration
+
+__all__ = [
+    "UncacheableResultError",
+    "result_to_payload",
+    "payload_to_result",
+    "PAYLOAD_SCHEMA_VERSION",
+]
+
+#: Bump whenever the payload layout changes; loads reject newer schemas.
+PAYLOAD_SCHEMA_VERSION = 1
+
+_SV_PREFIX = "sv__"
+
+
+class UncacheableResultError(TypeError):
+    """The result holds data the cache cannot faithfully serialize."""
+
+
+def _encode_meta_value(value) -> Any:
+    """Encode one metadata value into tagged JSON (exact float round-trip)."""
+    if value is None or isinstance(value, (bool, str)):
+        return value
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        return float(value)
+    if isinstance(value, (complex, np.complexfloating)):
+        value = complex(value)
+        return {"__complex__": [value.real, value.imag]}
+    if isinstance(value, tuple):
+        return {"__tuple__": [_encode_meta_value(entry) for entry in value]}
+    if isinstance(value, list):
+        return [_encode_meta_value(entry) for entry in value]
+    if isinstance(value, dict):
+        if not all(isinstance(key, str) for key in value):
+            raise UncacheableResultError("metadata dict keys must be strings")
+        return {key: _encode_meta_value(entry) for key, entry in value.items()}
+    if isinstance(value, RecursiveDiagnostics):
+        return {"__recursion__": {
+            "converged": value.converged,
+            "threshold": value.threshold,
+            "iterations": [
+                {
+                    "iteration": it.iteration,
+                    "n_samples_used": it.n_samples_used,
+                    "model_order": it.model_order,
+                    "holdout_error_mean": it.holdout_error_mean,
+                    "holdout_error_max": it.holdout_error_max,
+                }
+                for it in value.iterations
+            ],
+        }}
+    raise UncacheableResultError(
+        f"metadata value of type {type(value).__name__} has no cache serialization"
+    )
+
+
+def _decode_meta_value(value) -> Any:
+    """Invert :func:`_encode_meta_value`."""
+    if isinstance(value, list):
+        return [_decode_meta_value(entry) for entry in value]
+    if isinstance(value, dict):
+        if "__complex__" in value:
+            real, imag = value["__complex__"]
+            return complex(real, imag)
+        if "__tuple__" in value:
+            return tuple(_decode_meta_value(entry) for entry in value["__tuple__"])
+        if "__recursion__" in value:
+            payload = value["__recursion__"]
+            return RecursiveDiagnostics(
+                iterations=tuple(
+                    RecursiveIteration(**iteration) for iteration in payload["iterations"]
+                ),
+                converged=payload["converged"],
+                threshold=payload["threshold"],
+            )
+        return {key: _decode_meta_value(entry) for key, entry in value.items()}
+    return value
+
+
+def result_to_payload(result: MacromodelResult) -> tuple[dict[str, np.ndarray], dict[str, Any]]:
+    """Split a result into ``(arrays, meta)``: numpy payload + JSON-safe metadata.
+
+    ``result.metadata["options"]`` is excluded -- the cache key already pins
+    the options, and the caller re-attaches the normalised options object on
+    reconstruction (see :func:`repro.cache.fit_with_cache`).
+
+    Raises
+    ------
+    UncacheableResultError
+        If the metadata holds values without a faithful serialization.
+    """
+    arrays: dict[str, np.ndarray] = {
+        "E": np.asarray(result.system.E),
+        "A": np.asarray(result.system.A),
+        "B": np.asarray(result.system.B),
+        "C": np.asarray(result.system.C),
+        "D": np.asarray(result.system.D),
+    }
+    for name, values in result.singular_values.items():
+        arrays[_SV_PREFIX + name] = np.asarray(values)
+
+    realization = None
+    if result.realization is not None:
+        diag = result.realization
+        arrays["realization_singular_values"] = np.asarray(diag.singular_values)
+        realization = {
+            "order": diag.order,
+            "x0": _encode_meta_value(diag.x0),
+            "mode": diag.mode,
+            "rank_tolerance": diag.rank_tolerance,
+        }
+
+    metadata = {key: value for key, value in result.metadata.items() if key != "options"}
+    meta = {
+        "schema_version": PAYLOAD_SCHEMA_VERSION,
+        "method": result.method,
+        "n_samples_used": result.n_samples_used,
+        "elapsed_seconds": result.elapsed_seconds,
+        "order": result.order,
+        "realization": realization,
+        "metadata": _encode_meta_value(metadata),
+    }
+    return arrays, meta
+
+
+def payload_to_result(
+    arrays: dict[str, np.ndarray],
+    meta: dict[str, Any],
+    *,
+    options=None,
+) -> MacromodelResult:
+    """Reconstruct a :class:`MacromodelResult` from a stored payload.
+
+    Parameters
+    ----------
+    arrays, meta:
+        The two halves produced by :func:`result_to_payload`.
+    options:
+        The (normalised) options object of the fit; re-attached under
+        ``metadata["options"]`` exactly like a fresh fit records it.
+
+    Raises
+    ------
+    ValueError
+        On schema mismatches or missing arrays -- stores catch this and
+        treat the entry as corrupt (a miss), never as a user error.
+    """
+    version = int(meta.get("schema_version", -1))
+    if version != PAYLOAD_SCHEMA_VERSION:
+        raise ValueError(
+            f"cached fit uses payload schema {version}, expected {PAYLOAD_SCHEMA_VERSION}"
+        )
+    missing = {"E", "A", "B", "C", "D"} - set(arrays)
+    if missing:
+        raise ValueError(f"cached fit payload is missing matrices: {sorted(missing)}")
+
+    from repro.systems.statespace import DescriptorSystem
+
+    system = DescriptorSystem(arrays["E"], arrays["A"], arrays["B"], arrays["C"], arrays["D"])
+
+    singular_values = {
+        name[len(_SV_PREFIX):]: np.asarray(values)
+        for name, values in arrays.items()
+        if name.startswith(_SV_PREFIX)
+    }
+
+    realization: Optional[RealizationDiagnostics] = None
+    if meta.get("realization") is not None:
+        spec = meta["realization"]
+        realization = RealizationDiagnostics(
+            order=int(spec["order"]),
+            singular_values=np.asarray(arrays["realization_singular_values"]),
+            x0=_decode_meta_value(spec["x0"]),
+            mode=spec["mode"],
+            rank_tolerance=spec["rank_tolerance"],
+        )
+
+    metadata = _decode_meta_value(meta.get("metadata", {}))
+    if options is not None:
+        metadata.setdefault("options", options)
+    return MacromodelResult(
+        system=system,
+        method=meta["method"],
+        singular_values=singular_values,
+        realization=realization,
+        tangential=None,
+        pencil=None,
+        n_samples_used=int(meta["n_samples_used"]),
+        elapsed_seconds=float(meta["elapsed_seconds"]),
+        metadata=metadata,
+    )

@@ -1,0 +1,222 @@
+"""Pluggable cache stores: in-memory LRU and an on-disk NPZ/JSON store.
+
+Both stores speak the same payload protocol -- ``(arrays, meta)`` as produced
+by :mod:`repro.cache.serialization` -- so a cached fit reconstructs through
+identical code no matter where it was kept:
+
+* :class:`MemoryStore` -- a bounded in-process LRU map.  Cheap, shared by
+  threads (the owning :class:`~repro.cache.FitCache` serialises access), but
+  each *process* sees its own copy: under the batch engine's ``process``
+  executor a memory store cannot propagate hits across workers.
+* :class:`DiskStore` -- a persistent directory of compressed ``.npz`` array
+  archives with ``.json`` metadata sidecars.  Safe for concurrent writers
+  (atomic rename; the JSON sidecar is written last and acts as the commit
+  marker) and safe against corruption: *any* unreadable entry loads as a
+  miss, never as an exception.
+
+The directory layout is versioned (``<root>/v<schema>/<key[:2]>/<key>.*``) so
+incompatible payload revisions never alias; see the README "Caching" section.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.cache.serialization import PAYLOAD_SCHEMA_VERSION
+
+__all__ = ["CacheStore", "MemoryStore", "DiskStore"]
+
+Payload = tuple[dict[str, np.ndarray], dict[str, Any]]
+
+
+class CacheStore:
+    """Interface both stores implement (structural; not enforced by ABC)."""
+
+    def load(self, key: str) -> Optional[Payload]:  # pragma: no cover - interface
+        """The payload stored under ``key``, or ``None`` (missing or corrupt)."""
+        raise NotImplementedError
+
+    def save(self, key: str, payload: Payload) -> int:
+        """Store ``payload`` under ``key``; returns how many entries were evicted."""
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def clear(self) -> int:  # pragma: no cover - interface
+        """Drop every entry; returns how many were removed."""
+        raise NotImplementedError
+
+
+class MemoryStore(CacheStore):
+    """Bounded in-process LRU store.
+
+    Parameters
+    ----------
+    max_entries:
+        Keep at most this many *array-bearing* payloads (fits); the least
+        recently used one is evicted first.  ``None`` means unbounded.
+        Metadata-only payloads (the byte-sized evaluation memos) never count
+        toward the bound and are never evicted by it -- otherwise a job's
+        own error memos could evict the fit it just stored.
+
+    Notes
+    -----
+    Payload arrays are copied on ``save`` and marked read-only, so the store
+    can never be corrupted by callers mutating a returned result's arrays in
+    place (the disk store is immune by construction: it round-trips through
+    NPZ files).
+    """
+
+    def __init__(self, max_entries: Optional[int] = None):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 when given")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[str, Payload] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def load(self, key: str) -> Optional[Payload]:
+        payload = self._entries.get(key)
+        if payload is not None:
+            self._entries.move_to_end(key)
+        return payload
+
+    def save(self, key: str, payload: Payload) -> int:
+        arrays, meta = payload
+        frozen = {}
+        for name, array in arrays.items():
+            array = np.array(array, copy=True)
+            array.setflags(write=False)
+            frozen[name] = array
+        self._entries[key] = (frozen, meta)
+        self._entries.move_to_end(key)
+        evicted = 0
+        if self.max_entries is not None:
+            # bound only the heavy (array-bearing) payloads, oldest first
+            heavy = [k for k, (entry_arrays, _) in self._entries.items() if entry_arrays]
+            while len(heavy) > self.max_entries:
+                del self._entries[heavy.pop(0)]
+                evicted += 1
+        return evicted
+
+    def clear(self) -> int:
+        n = len(self._entries)
+        self._entries.clear()
+        return n
+
+
+class DiskStore(CacheStore):
+    """Persistent store: compressed NPZ arrays + JSON metadata per fit.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created lazily; ``~`` and ``$VARS`` are expanded).
+        Entries live under ``<root>/v<schema>/<key[:2]>/<key>.npz`` with a
+        ``<key>.json`` metadata sidecar; the two-hex-digit shard level keeps
+        directories small for large caches.
+
+    Notes
+    -----
+    Writes are atomic (temp file + ``os.replace``) and ordered NPZ-first, so
+    a concurrent reader either sees a complete entry or no entry.  Reads
+    treat every failure mode -- missing files, truncated archives, invalid
+    JSON, schema mismatches -- as a miss and quarantine nothing: the next
+    successful ``save`` simply overwrites the bad entry.
+    """
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = os.path.expandvars(os.path.expanduser(os.fspath(root)))
+
+    @property
+    def schema_dir(self) -> str:
+        """The versioned directory all entries of this payload schema live in."""
+        return os.path.join(self.root, f"v{PAYLOAD_SCHEMA_VERSION}")
+
+    def _entry_paths(self, key: str) -> tuple[str, str]:
+        shard = os.path.join(self.schema_dir, key[:2])
+        return os.path.join(shard, f"{key}.npz"), os.path.join(shard, f"{key}.json")
+
+    def __contains__(self, key: str) -> bool:
+        npz_path, json_path = self._entry_paths(key)
+        return os.path.exists(npz_path) and os.path.exists(json_path)
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def keys(self) -> list[str]:
+        """Keys of every complete entry currently on disk (sorted)."""
+        found = []
+        if not os.path.isdir(self.schema_dir):
+            return found
+        for shard in sorted(os.listdir(self.schema_dir)):
+            shard_dir = os.path.join(self.schema_dir, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(".json"):
+                    key = name[: -len(".json")]
+                    if os.path.exists(os.path.join(shard_dir, f"{key}.npz")):
+                        found.append(key)
+        return found
+
+    def load(self, key: str) -> Optional[Payload]:
+        npz_path, json_path = self._entry_paths(key)
+        try:
+            with open(json_path, encoding="utf-8") as handle:
+                meta = json.load(handle)
+            if not isinstance(meta, dict):
+                return None
+            with np.load(npz_path, allow_pickle=False) as archive:
+                arrays = {name: archive[name] for name in archive.files}
+        except Exception:  # noqa: BLE001 - any unreadable entry is a miss
+            return None
+        return arrays, meta
+
+    def save(self, key: str, payload: Payload) -> int:
+        arrays, meta = payload
+        npz_path, json_path = self._entry_paths(key)
+        os.makedirs(os.path.dirname(npz_path), exist_ok=True)
+        self._atomic_write(npz_path, lambda handle: np.savez_compressed(handle, **arrays))
+        self._atomic_write(
+            json_path,
+            lambda handle: handle.write(json.dumps(meta, sort_keys=True).encode()),
+        )
+        return 0
+
+    @staticmethod
+    def _atomic_write(path: str, write) -> None:
+        handle = tempfile.NamedTemporaryFile(
+            dir=os.path.dirname(path), prefix=os.path.basename(path) + ".tmp", delete=False
+        )
+        try:
+            with handle:
+                write(handle)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> int:
+        """Remove every entry of the *current* schema version."""
+        removed = 0
+        for key in self.keys():
+            npz_path, json_path = self._entry_paths(key)
+            for path in (npz_path, json_path):
+                try:
+                    os.unlink(path)
+                except OSError:
+                    continue
+            removed += 1
+        return removed

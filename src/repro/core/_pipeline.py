@@ -99,6 +99,7 @@ def run_fit(
     *,
     method: str = "mfti",
     options: Optional[InterpolationOptions] = None,
+    cache=None,
     **kwargs,
 ) -> MacromodelResult:
     """Run one macromodel fit, dispatching on the method name.
@@ -112,6 +113,14 @@ def run_fit(
     options:
         Options object of the method's expected type; keyword arguments are
         accepted as a shortcut exactly like on the front-ends themselves.
+    cache:
+        Optional :class:`~repro.cache.FitCache`.  When given, the fit is
+        looked up by content (dataset fingerprint + method + options) and
+        replayed on a hit; a fresh fit populates the cache.  Keyword
+        shortcuts are normalised into the options object first, so they
+        share cache entries with the explicit-options spelling.
+        Nondeterministic fits (unseeded random directions) always bypass
+        the cache.
     """
     spec = frontend_spec(method)
     if options is not None and not isinstance(options, spec.options_type):
@@ -119,6 +128,14 @@ def run_fit(
             f"method {method!r} expects {spec.options_type.__name__} options, "
             f"got {type(options).__name__}"
         )
+    if cache is not None:
+        # deferred import: repro.cache consumes this registry module
+        from repro.cache.fitcache import fit_with_cache
+
+        result, _, _ = fit_with_cache(
+            data, method=method, options=options, cache=cache, **kwargs
+        )
+        return result
     return spec.runner(data, options=options, **kwargs)
 
 

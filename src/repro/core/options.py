@@ -13,12 +13,47 @@ lightweight::
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Optional, Sequence, Union
+
+import numpy as np
 
 from repro.utils.rng import RandomState
 
 __all__ = ["InterpolationOptions", "MftiOptions", "VftiOptions", "RecursiveOptions"]
+
+
+def _canonical_token(value) -> str:
+    """Encode one option value into a stable textual token.
+
+    The encoding is exact (floats via ``float.hex`` so distinct values never
+    collide and equal values never differ across platforms) and type-prefixed
+    (so ``1`` and ``True`` and ``"1"`` stay distinct).  Live random generators
+    are rejected: their hidden state cannot be captured, so two "equal"
+    options objects could still behave differently.
+    """
+    if value is None:
+        return "none"
+    if isinstance(value, bool) or isinstance(value, np.bool_):
+        return f"bool:{bool(value)}"
+    if isinstance(value, (int, np.integer)):
+        return f"int:{int(value)}"
+    if isinstance(value, (float, np.floating)):
+        return f"float:{float(value).hex()}"
+    if isinstance(value, (complex, np.complexfloating)):
+        value = complex(value)
+        return f"complex:{value.real.hex()},{value.imag.hex()}"
+    if isinstance(value, str):
+        # length-prefixed so strings containing delimiters (',', '|', '=')
+        # can never alias neighbouring tokens or fields in the hash stream
+        return f"str:{len(value)}:{value}"
+    if isinstance(value, (tuple, list)) or (isinstance(value, np.ndarray) and value.ndim == 1):
+        return "seq:[" + ",".join(_canonical_token(entry) for entry in value) + "]"
+    raise TypeError(
+        f"option value {value!r} of type {type(value).__name__} has no canonical "
+        "serialization (live numpy.random.Generator seeds are deliberately rejected)"
+    )
 
 
 @dataclass(frozen=True)
@@ -67,6 +102,28 @@ class InterpolationOptions:
             raise ValueError("order must be a positive integer when given")
         if self.real_output and not self.include_conjugates:
             raise ValueError("real_output requires include_conjugates=True")
+
+    def canonical_items(self) -> tuple[tuple[str, str], ...]:
+        """Stable ``(field, token)`` pairs fully identifying this configuration.
+
+        Fields are sorted by name (so the result is independent of declaration
+        or construction order) and values are encoded with an exact,
+        type-prefixed textual encoding.  This is the serialization the cache
+        fingerprints (:func:`repro.cache.options_fingerprint`) are built on;
+        two options objects produce the same items iff they describe the same
+        fit configuration.
+
+        Raises
+        ------
+        TypeError
+            If a field holds a value without a canonical encoding (e.g. a
+            live ``numpy.random.Generator`` seed, whose hidden state cannot
+            be captured).
+        """
+        return tuple(
+            (field.name, _canonical_token(getattr(self, field.name)))
+            for field in sorted(dataclasses.fields(self), key=lambda f: f.name)
+        )
 
 
 @dataclass(frozen=True)

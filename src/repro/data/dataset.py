@@ -120,6 +120,17 @@ class FrequencyData:
         """The sample matrix at the given index."""
         return np.array(self.samples[index])
 
+    def fingerprint(self) -> str:
+        """Content hash of the numerical payload (frequencies, samples, kind, z0).
+
+        Delegates to :func:`repro.cache.dataset_fingerprint`: the free-form
+        ``label`` is excluded, so relabelled copies share the fingerprint.
+        This is the dataset half of the key fits are cached under.
+        """
+        from repro.cache.fingerprint import dataset_fingerprint
+
+        return dataset_fingerprint(self)
+
     # ------------------------------------------------------------------ #
     # transformations
     # ------------------------------------------------------------------ #

@@ -19,6 +19,7 @@ executor -- the default remains the serial reference executor.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -27,6 +28,7 @@ import numpy as np
 from repro.batch.engine import BatchEngine
 from repro.batch.jobs import FitJob
 from repro.batch.results import BatchResult
+from repro.cache.fitcache import FitCache
 from repro.core.options import MftiOptions, RecursiveOptions
 from repro.data.dataset import FrequencyData
 
@@ -79,9 +81,16 @@ class AblationRow:
         return row
 
 
-def _run_grid(jobs: Sequence[FitJob], engine: Optional[BatchEngine]) -> BatchResult:
+def _run_grid(
+    jobs: Sequence[FitJob],
+    engine: Optional[BatchEngine],
+    cache: Optional[FitCache] = None,
+) -> BatchResult:
     """Run an ablation grid, re-raising the first failure (sweeps expect clean runs)."""
-    return (engine or BatchEngine()).run(jobs).raise_failures(context="ablation job")
+    runner = engine or BatchEngine()
+    if cache is not None:
+        runner = dataclasses.replace(runner, cache=cache)
+    return runner.run(jobs).raise_failures(context="ablation job")
 
 
 def _rows(batch: BatchResult, *, extra=None) -> list[AblationRow]:
@@ -105,6 +114,7 @@ def weighting_ablation(
     block_sizes: Optional[Sequence[int]] = None,
     rank_tolerance: float = 1e-5,
     engine: Optional[BatchEngine] = None,
+    cache: Optional[FitCache] = None,
 ) -> list[AblationRow]:
     """Sweep the tangential block size ``t`` from 1 to ``min(m, p)``."""
     max_block = min(data.n_inputs, data.n_outputs)
@@ -121,7 +131,7 @@ def weighting_ablation(
         )
         for t in sizes
     ]
-    return _rows(_run_grid(jobs, engine))
+    return _rows(_run_grid(jobs, engine, cache))
 
 
 def svd_mode_ablation(
@@ -131,6 +141,7 @@ def svd_mode_ablation(
     block_size: Optional[int] = None,
     rank_tolerance: float = 1e-9,
     engine: Optional[BatchEngine] = None,
+    cache: Optional[FitCache] = None,
 ) -> list[AblationRow]:
     """Compare the pencil-SVD of Algorithm 1 against the two-sided projection.
 
@@ -165,7 +176,7 @@ def svd_mode_ablation(
             tags={"ablation": "svd", "mode": "pencil", "x0_imag": float(x0.imag)},
             reference=reference,
         ))
-    return _rows(_run_grid(jobs, engine))
+    return _rows(_run_grid(jobs, engine, cache))
 
 
 def recursive_parameter_ablation(
@@ -177,6 +188,7 @@ def recursive_parameter_ablation(
     block_size: int = 2,
     rank_tolerance: float = 1e-5,
     engine: Optional[BatchEngine] = None,
+    cache: Optional[FitCache] = None,
 ) -> list[AblationRow]:
     """Sweep ``k0`` and ``Th`` of the recursive Algorithm 2."""
     jobs = []
@@ -197,6 +209,6 @@ def recursive_parameter_ablation(
                 reference=reference,
             ))
     return _rows(
-        _run_grid(jobs, engine),
+        _run_grid(jobs, engine, cache),
         extra=lambda record: float(record.result.metadata["recursion"].n_iterations),
     )

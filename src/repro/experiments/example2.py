@@ -23,9 +23,11 @@ simulator is available.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from typing import Optional
 
 from repro.batch.engine import BatchEngine
+from repro.cache.fitcache import FitCache
 from repro.batch.jobs import FitJob
 from repro.circuits.pdn import PdnConfiguration, power_distribution_network
 from repro.core.options import MftiOptions, RecursiveOptions, VftiOptions
@@ -231,6 +233,7 @@ def table1_experiment(
     *,
     include_vector_fitting: bool = True,
     engine: BatchEngine | None = None,
+    cache: Optional[FitCache] = None,
 ) -> Table1Data:
     """Run all algorithm settings of Table 1 on both tests and collect the rows.
 
@@ -238,7 +241,9 @@ def table1_experiment(
     which is convenient for quick checks and for the test-suite.  All Loewner
     rows of both tests run as one batch through ``engine`` (default: the
     serial reference executor), so passing a pooled engine parallelises the
-    whole table.
+    whole table.  A shared ``cache`` makes repeated regenerations (parameter
+    studies, re-runs of the benchmark suite) replay identical fits instead of
+    recomputing them.
     """
     cfg = config or Example2Config()
     test1, test2, validation = build_pdn_datasets(cfg)
@@ -249,7 +254,10 @@ def table1_experiment(
         for test_name, data in datasets.items()
         for job in loewner_table1_jobs(cfg, test_name, data, validation)
     ]
-    batch = (engine or BatchEngine()).run(jobs).raise_failures(context="Table-1 job")
+    runner = engine or BatchEngine()
+    if cache is not None:
+        runner = replace(runner, cache=cache)
+    batch = runner.run(jobs).raise_failures(context="Table-1 job")
 
     rows: list[Table1Row] = []
     for test_name, data in datasets.items():

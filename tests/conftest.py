@@ -72,3 +72,16 @@ def tiny_pdn_system():
 def rng():
     """Fresh deterministic random generator per test."""
     return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def fit_cache_dir(tmp_path_factory):
+    """Session-unique root directory for on-disk fit caches.
+
+    Shared (same name, same semantics) with ``benchmarks/conftest.py``.
+    ``tmp_path_factory`` derives from pytest's numbered, lock-protected
+    basetemp, so concurrent pytest runs on one machine each get their own
+    store and never collide; within a session the path is stable, so every
+    test reuses one deterministic cache location.
+    """
+    return tmp_path_factory.mktemp("fit-cache")

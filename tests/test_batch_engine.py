@@ -232,9 +232,11 @@ class TestBatchResult:
         path = batch.save_json(str(tmp_path / "nested" / "batch.json"))
         with open(path, encoding="utf-8") as handle:
             payload = json.load(handle)
-        assert payload["schema_version"] == 1
+        assert payload["schema_version"] == 2
         assert payload["n_jobs"] == batch.n_jobs
         assert payload["n_failed"] == 0
+        assert payload["n_cache_hits"] == 0  # batch ran without a cache
+        assert payload["jobs"][0]["cache"] is None
         assert len(payload["jobs"]) == batch.n_jobs
         assert payload["jobs"][0]["label"] == batch.records[0].label
         assert payload["total_fit_seconds"] == pytest.approx(batch.total_fit_seconds)

@@ -1,0 +1,157 @@
+"""Property-based tests (hypothesis) of the cache fingerprints.
+
+The cache is only trustworthy if equal fits always collide onto one key and
+unequal fits never do.  These properties are checked over generated datasets
+and option configurations:
+
+* **invariance** -- fingerprints ignore representation: labels, memory
+  layout, copies, and lossless dtype round-trips of the numerical payload;
+* **sensitivity** -- perturbing any single response entry, frequency, or the
+  parameter kind / reference impedance changes the fingerprint;
+* **options-ordering independence** -- the options fingerprint depends on
+  the field *values*, never on construction order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import dataset_fingerprint, options_fingerprint
+from repro.core.options import MftiOptions, RecursiveOptions
+from repro.data.dataset import FrequencyData
+
+# keep generated datasets tiny: fingerprinting is shape-agnostic and the
+# suite must stay fast
+_DIMS = st.integers(min_value=1, max_value=3)
+_COUNTS = st.integers(min_value=1, max_value=4)
+_FINITE = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False,
+                    allow_infinity=False, width=64)
+
+
+@st.composite
+def datasets(draw) -> FrequencyData:
+    """A small random-but-valid FrequencyData."""
+    k, p, m = draw(_COUNTS), draw(_DIMS), draw(_DIMS)
+    # strictly increasing positive frequencies from positive gaps
+    gaps = draw(st.lists(st.floats(min_value=0.5, max_value=10.0), min_size=k, max_size=k))
+    freqs = np.cumsum(np.asarray(gaps, dtype=float)) + 1.0
+    real = draw(st.lists(_FINITE, min_size=k * p * m, max_size=k * p * m))
+    imag = draw(st.lists(_FINITE, min_size=k * p * m, max_size=k * p * m))
+    samples = (np.asarray(real) + 1j * np.asarray(imag)).reshape(k, p, m)
+    kind = draw(st.sampled_from(["S", "Z", "Y", "H"]))
+    return FrequencyData(freqs, samples, kind=kind, label="generated")
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=datasets())
+def test_fingerprint_invariant_under_copy_and_dtype_roundtrip(data):
+    """Copies, layout changes and lossless dtype round-trips hash alike."""
+    baseline = dataset_fingerprint(data)
+    copied = FrequencyData(
+        np.array(data.frequencies_hz, copy=True),
+        np.array(data.samples, copy=True, order="F"),
+        kind=data.kind,
+        reference_impedance=data.reference_impedance,
+        label="a different label",
+    )
+    assert dataset_fingerprint(copied) == baseline
+    # lossless dtype round-trip: complex128 -> (re, im) float64 -> complex128,
+    # plus frequencies through a python-float list
+    rebuilt = FrequencyData(
+        [float(f) for f in data.frequencies_hz],
+        data.samples.real.astype(np.float64) + 1j * data.samples.imag,
+        kind=data.kind,
+        reference_impedance=data.reference_impedance,
+    )
+    assert dataset_fingerprint(rebuilt) == baseline
+    # repeated hashing is stable (no hidden state)
+    assert dataset_fingerprint(data) == baseline
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=datasets(), st_data=st.data())
+def test_fingerprint_sensitive_to_any_response_perturbation(data, st_data):
+    """Flipping one bit-sized epsilon in one entry must change the hash."""
+    baseline = dataset_fingerprint(data)
+    k = st_data.draw(st.integers(0, data.n_samples - 1), label="freq index")
+    i = st_data.draw(st.integers(0, data.n_outputs - 1), label="row")
+    j = st_data.draw(st.integers(0, data.n_inputs - 1), label="col")
+    samples = np.array(data.samples, copy=True)
+    entry = samples[k, i, j]
+    samples[k, i, j] = np.nextafter(entry.real, np.inf) + 1j * entry.imag
+    perturbed = data.with_samples(samples)
+    assert dataset_fingerprint(perturbed) != baseline
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=datasets())
+def test_fingerprint_sensitive_to_grid_and_convention(data):
+    """Frequencies, kind and reference impedance are all part of the identity."""
+    baseline = dataset_fingerprint(data)
+    shifted = FrequencyData(data.frequencies_hz * 2.0, data.samples, kind=data.kind,
+                            reference_impedance=data.reference_impedance)
+    assert dataset_fingerprint(shifted) != baseline
+    rescaled = FrequencyData(data.frequencies_hz, data.samples, kind=data.kind,
+                             reference_impedance=data.reference_impedance + 1.0)
+    assert dataset_fingerprint(rescaled) != baseline
+    other_kind = next(k for k in ("S", "Z", "Y", "H") if k != data.kind)
+    rekinded = FrequencyData(data.frequencies_hz, data.samples, kind=other_kind,
+                             reference_impedance=data.reference_impedance)
+    assert dataset_fingerprint(rekinded) != baseline
+
+
+_MFTI_KWARGS = {
+    "block_size": st.one_of(st.none(), st.integers(1, 4)),
+    "direction_kind": st.sampled_from(["identity", "random"]),
+    "direction_seed": st.integers(0, 2**31),
+    "svd_mode": st.sampled_from(["two-sided", "pencil"]),
+    "rank_method": st.sampled_from(["gap", "tolerance"]),
+    "rank_tolerance": st.floats(min_value=1e-12, max_value=1e-3),
+    "real_output": st.booleans(),
+}
+
+
+@st.composite
+def mfti_kwargs(draw) -> dict:
+    kwargs = {name: draw(strategy) for name, strategy in _MFTI_KWARGS.items()}
+    if kwargs["real_output"] is False:
+        kwargs["include_conjugates"] = draw(st.booleans())
+    return kwargs
+
+
+@settings(max_examples=50, deadline=None)
+@given(kwargs=mfti_kwargs(), st_data=st.data())
+def test_options_fingerprint_independent_of_construction_order(kwargs, st_data):
+    """Passing the same values in any keyword order yields one fingerprint."""
+    baseline = options_fingerprint("mfti", MftiOptions(**kwargs))
+    order = st_data.draw(st.permutations(sorted(kwargs)), label="kwarg order")
+    reordered = MftiOptions(**{name: kwargs[name] for name in order})
+    assert options_fingerprint("mfti", reordered) == baseline
+
+
+@settings(max_examples=50, deadline=None)
+@given(kwargs=mfti_kwargs(), st_data=st.data())
+def test_options_fingerprint_sensitive_to_any_field_change(kwargs, st_data):
+    """Changing any single option value must change the fingerprint."""
+    baseline = options_fingerprint("mfti", MftiOptions(**kwargs))
+    mutable = dict(kwargs)
+    field = st_data.draw(st.sampled_from(sorted(_MFTI_KWARGS)), label="field")
+    replacement = st_data.draw(
+        _MFTI_KWARGS[field].filter(lambda value: value != kwargs[field]),
+        label="replacement",
+    )
+    mutable[field] = replacement
+    if field == "real_output" and replacement:
+        mutable.pop("include_conjugates", None)  # real output needs conjugates
+    changed = options_fingerprint("mfti", MftiOptions(**mutable))
+    assert changed != baseline
+
+
+@settings(max_examples=20, deadline=None)
+@given(kwargs=mfti_kwargs())
+def test_subclass_options_never_alias_parent(kwargs):
+    """Recursive options with identical shared fields hash differently."""
+    assert (options_fingerprint("mfti", MftiOptions(**kwargs))
+            != options_fingerprint("mfti-recursive", RecursiveOptions(**kwargs)))
