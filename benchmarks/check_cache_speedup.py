@@ -1,9 +1,11 @@
-"""CI perf-smoke gate: warm cache sweeps must actually be faster.
+"""Back-compat wrapper: cache-speedup gate via the generic perf-regression gate.
 
-Reads a ``BENCH_fit_cache.json`` export (written by ``bench_fit_cache.py``),
-diffs the warm vs cold wall-clock timings, and exits non-zero when the warm
-sweep is not at least ``--min-speedup`` times faster (default 5x, the cache's
-acceptance floor) or when any warm job missed the cache.
+This script predates ``check_perf_regression.py`` and is kept as a thin CLI
+shim so existing invocations keep working.  It applies the fit-cache rules
+(warm sweep >= ``--min-speedup`` x faster than cold, zero warm misses, every
+warm job a cache hit) to a single ``BENCH_fit_cache.json`` export through
+the shared rule engine.  New gates belong in ``benchmarks/baselines/`` and
+run through ``check_perf_regression.py`` directly.
 
 Usage::
 
@@ -17,32 +19,28 @@ import argparse
 import json
 import sys
 
+from check_perf_regression import check_export
+
 
 def check(path: str, min_speedup: float) -> list[str]:
     """Every violated expectation in the export, as human-readable strings."""
     with open(path, encoding="utf-8") as handle:
         payload = json.load(handle)
-    problems = []
-    cold = payload.get("cold_wall_seconds")
-    warm = payload.get("warm_wall_seconds")
-    if not isinstance(cold, (int, float)) or not isinstance(warm, (int, float)):
-        return [f"{path}: missing cold/warm wall-clock timings"]
-    if warm >= cold:
-        problems.append(
-            f"warm sweep ({warm:.3f}s) is not faster than cold ({cold:.3f}s)"
-        )
-    speedup = cold / warm if warm > 0 else float("inf")
-    if speedup < min_speedup:
-        problems.append(
-            f"warm speedup {speedup:.2f}x below the {min_speedup:g}x floor "
-            f"(cold {cold:.3f}s, warm {warm:.3f}s)"
-        )
-    n_jobs = payload.get("n_jobs", 0)
-    if payload.get("warm_cache_hits") != n_jobs:
-        problems.append(
-            f"warm sweep hit the cache on {payload.get('warm_cache_hits')}/{n_jobs} jobs"
-        )
-    return problems
+    baseline = {
+        "benchmark": "fit_cache",
+        "rules": {
+            "speedup_warm_vs_cold": {"min": min_speedup},
+            "warm_cache_misses": {"max": 0},
+            "warm_cache_hits": {"equals_field": "n_jobs"},
+        },
+    }
+    return [
+        record.get("detail",
+                   f"{record['field']} = {record.get('value')} violates "
+                   f"{record['check']} {record.get('limit')}")
+        for record in check_export(payload, baseline)
+        if not record["ok"]
+    ]
 
 
 def main(argv: list[str] | None = None) -> int:

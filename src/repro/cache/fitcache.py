@@ -33,6 +33,7 @@ from repro.cache.serialization import (
     result_to_payload,
 )
 from repro.cache.stores import CacheStore, DiskStore, MemoryStore
+from repro.metrics.errors import model_aggregate_error
 
 __all__ = ["FitCache", "CacheStats", "fit_with_cache", "cache_disabled_by_env"]
 
@@ -230,6 +231,11 @@ class FitCache:
         spend essentially all their time re-evaluating models against the
         measurement and validation grids -- this is what makes a fully-warm
         sweep orders of magnitude faster, not just the skipped fits.
+
+        A memoization miss computes the error through
+        :func:`repro.metrics.errors.model_aggregate_error` -- the same
+        vectorized-kernel code path uncached evaluations take -- so memoized
+        and fresh values are the result of one implementation.
         """
         key = evaluation_key(fit, data)
         with self._lock:
@@ -246,7 +252,7 @@ class FitCache:
                     return float(meta["error"])
             except (KeyError, TypeError, ValueError):
                 pass  # corrupt evaluation entry: recompute and overwrite
-        value = float(result.aggregate_error(data))
+        value = float(model_aggregate_error(result.system, data))
         meta = {
             "schema_version": PAYLOAD_SCHEMA_VERSION,
             "kind": "evaluation",

@@ -34,7 +34,10 @@ __all__ = [
 ]
 
 #: Bump whenever the payload layout changes; loads reject newer schemas.
-PAYLOAD_SCHEMA_VERSION = 1
+#: v2: recursive fits now store only the "pencil" singular-value profile and
+#: every evaluation memo is computed through the vectorized sweep kernel --
+#: pre-kernel entries must not replay as if they were fresh fits.
+PAYLOAD_SCHEMA_VERSION = 2
 
 _SV_PREFIX = "sv__"
 

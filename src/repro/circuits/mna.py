@@ -77,6 +77,41 @@ class MnaSystem:
             return "Y"
         return "hybrid"
 
+    def sample(
+        self,
+        frequencies_hz,
+        *,
+        as_scattering: bool = False,
+        reference_impedance: float = 50.0,
+        label: str = "",
+    ):
+        """Sweep the assembled circuit into a :class:`~repro.data.dataset.FrequencyData`.
+
+        The sweep runs through the shared vectorized evaluation kernel (one
+        batched factorization pass instead of one dense factorization per
+        frequency) with the bit-stable ``"solve"`` strategy, so sampled
+        datasets fingerprint reproducibly.  ``as_scattering`` converts the
+        assembled Z/Y parameters to scattering parameters; it requires a
+        homogeneous port mix (:attr:`parameter_kind` not ``"hybrid"``).
+        """
+        from repro.data.sampler import sample_scattering, sample_system
+
+        kind = self.parameter_kind
+        if as_scattering:
+            if kind == "hybrid":
+                raise ValueError(
+                    "scattering conversion needs a homogeneous port mix "
+                    "(all current-driven or all voltage-driven ports)"
+                )
+            return sample_scattering(
+                self.system, frequencies_hz, system_kind=kind,
+                reference_impedance=reference_impedance, label=label,
+            )
+        return sample_system(
+            self.system, frequencies_hz, kind="H" if kind == "hybrid" else kind,
+            reference_impedance=reference_impedance, label=label,
+        )
+
 
 def _node_idx(index: dict[str, int], node: str) -> int | None:
     if node in GROUND_NAMES:

@@ -147,6 +147,7 @@ def realize_from_tangential(
     n_samples_used: int,
     started_at: float | None = None,
     metadata: dict | None = None,
+    singular_value_profiles: tuple[str, ...] | None = None,
 ) -> MacromodelResult:
     """Run the Loewner realization pipeline on prepared tangential data.
 
@@ -166,12 +167,19 @@ def realize_from_tangential(
         generation, so the reported time covers the whole algorithm.
     metadata:
         Extra key/value pairs stored on the result.
+    singular_value_profiles:
+        Which Fig.-1 singular-value profiles to report on the result
+        (default: all three).  Front-ends that realize many intermediate
+        pencils (the recursive algorithm) restrict this to ``("pencil",)``
+        to skip two full SVDs per iteration.
     """
     start = time.perf_counter() if started_at is None else started_at
     complex_pencil = build_loewner_pencil(tangential)
     # singular-value profiles (Fig. 1) are always reported from the complex
     # pencil; the real transform is unitary so the profiles are identical
-    singular_values = complex_pencil.singular_values(options.x0)
+    singular_values = complex_pencil.singular_values(
+        options.x0, profiles=singular_value_profiles
+    )
 
     pencil = complex_pencil
     if options.real_output:

@@ -11,7 +11,7 @@ from repro.core.loewner import LoewnerPencil
 from repro.core.realization import RealizationDiagnostics
 from repro.core.tangential import TangentialData
 from repro.data.dataset import FrequencyData
-from repro.metrics.errors import relative_error_per_frequency
+from repro.metrics.errors import model_aggregate_error, model_errors
 from repro.systems.statespace import DescriptorSystem
 
 __all__ = ["MacromodelResult", "RecursiveDiagnostics", "RecursiveIteration"]
@@ -69,13 +69,11 @@ class MacromodelResult:
 
     def errors_against(self, reference: FrequencyData) -> np.ndarray:
         """Per-frequency relative errors of the model against reference data."""
-        response = self.system.frequency_response(reference.frequencies_hz)
-        return relative_error_per_frequency(response, reference.samples)
+        return model_errors(self.system, reference)
 
     def aggregate_error(self, reference: FrequencyData) -> float:
         """The paper's ``ERR`` metric of the model against reference data."""
-        errors = self.errors_against(reference)
-        return float(np.linalg.norm(errors) / np.sqrt(errors.size))
+        return model_aggregate_error(self.system, reference)
 
     def summary(self) -> str:
         """One-line human-readable summary."""

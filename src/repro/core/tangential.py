@@ -288,15 +288,30 @@ class TangentialData:
         Returns ``(right_residuals, left_residuals)`` -- one Frobenius residual
         ``||H(lambda_i) R_i - W_i||`` per right block and
         ``||L_i H(mu_i) - V_i||`` per left block.  Exact interpolation drives
-        these to (numerical) zero.
+        these to (numerical) zero.  All block points are evaluated in one
+        batched sweep when the candidate model supports the shared evaluation
+        kernel (``evaluate_many``); anything exposing only a scalar
+        ``transfer_function`` is evaluated point by point.
         """
+        points = [b.point for b in self._right] + [b.point for b in self._left]
+        evaluate_many = getattr(system, "evaluate_many", None)
+        if evaluate_many is not None:
+            try:
+                h = evaluate_many(points, method="solve")
+            except TypeError:
+                # duck-typed models with the plain evaluate_many(points)
+                # signature (no strategy keyword) stay usable
+                h = np.asarray(evaluate_many(points))
+        else:
+            h = np.stack([system.transfer_function(point) for point in points])
+        n_right = len(self._right)
         right = np.array([
-            np.linalg.norm(system.transfer_function(b.point) @ b.directions - b.values)
-            for b in self._right
+            np.linalg.norm(h[i] @ b.directions - b.values)
+            for i, b in enumerate(self._right)
         ])
         left = np.array([
-            np.linalg.norm(b.directions @ system.transfer_function(b.point) - b.values)
-            for b in self._left
+            np.linalg.norm(b.directions @ h[n_right + i] - b.values)
+            for i, b in enumerate(self._left)
         ])
         return right, left
 

@@ -30,9 +30,20 @@ def sample_system(
 
     The system's transfer function is used verbatim (no parameter
     conversion); ``kind`` only labels what those samples represent.
+
+    The sweep runs through the shared evaluation kernel with the
+    ``"solve"`` strategy pinned: batched stacked-pencil solves are bitwise
+    identical to the per-point reference loop, so generated datasets (and
+    therefore their content-addressed cache fingerprints and the golden
+    fixtures derived from them) are reproducible bit for bit, independent
+    of whichever fast path later model evaluations take.
     """
     freqs = ensure_1d(frequencies_hz, "frequencies_hz", dtype=float)
-    samples = system.frequency_response(freqs)
+    try:
+        samples = system.frequency_response(freqs, method="solve")
+    except TypeError:
+        # duck-typed sources (anything with a frequency_response) stay usable
+        samples = system.frequency_response(freqs)
     return FrequencyData(freqs, samples, kind=kind,
                          reference_impedance=reference_impedance, label=label)
 

@@ -11,12 +11,13 @@ from __future__ import annotations
 
 from repro.batch.jobs import FitJob
 from repro.circuits.mna import netlist_to_descriptor
+from repro.circuits.pdn import PdnConfiguration, power_distribution_network
 from repro.circuits.transmission_line import lumped_transmission_line
 from repro.core.options import MftiOptions, RecursiveOptions, VftiOptions
 from repro.data import add_measurement_noise, linear_frequencies, sample_scattering
 from repro.experiments.example2 import Example2Config, build_pdn_datasets
 
-__all__ = ["mixed_batch_jobs"]
+__all__ = ["mixed_batch_jobs", "monte_carlo_jobs"]
 
 
 def mixed_batch_jobs(
@@ -83,4 +84,81 @@ def mixed_batch_jobs(
                                                     rank_tolerance=tolerance),
                            label=f"{name}/mfti-recursive", tags={"workload": name},
                            reference=reference))
+    return jobs
+
+
+def monte_carlo_jobs(
+    *,
+    n_draws: int = 8,
+    methods: tuple[str, ...] = ("mfti", "vfti"),
+    pdn_samples: int = 80,
+    pdn_validation: int = 120,
+    noise_level: float = 2e-4,
+    base_seed: int = 1000,
+    mfti_block_size: int = 2,
+    grid_rows: int = 6,
+    grid_cols: int = 6,
+) -> list[FitJob]:
+    """Named Monte-Carlo noise-study grid over the 14-port PDN.
+
+    One clean measurement sweep of the PDN is drawn once; every Monte-Carlo
+    *draw* injects an independent but **seeded** noise realization
+    (``seed = base_seed + draw``) into that sweep, and every method in
+    ``methods`` fits every draw.  Each job carries a clean dense validation
+    sweep as reference and is tagged with ``study="monte-carlo"``, the draw
+    index, the noise seed and the method, so :class:`~repro.batch.results.
+    BatchResult` filters (``with_tag``) slice the study along any axis.
+
+    The grid is cache-friendly *by construction*: seeded draws make every
+    dataset content-deterministic, so all methods fitting draw ``i`` share
+    one dataset fingerprint, and re-running the study (or extending
+    ``methods`` / ``n_draws``) replays every previously computed fit and
+    evaluation from a shared :class:`~repro.cache.FitCache` instead of
+    recomputing it.
+    """
+    if n_draws < 1:
+        raise ValueError("n_draws must be >= 1")
+    if not methods:
+        raise ValueError("methods must name at least one registered front-end")
+    cfg = Example2Config(
+        pdn=PdnConfiguration(grid_rows=grid_rows, grid_cols=grid_cols),
+        n_samples=pdn_samples,
+        n_validation=pdn_validation,
+        noise_level=noise_level,
+    )
+    system = power_distribution_network(cfg.pdn)
+    measurement_freqs = linear_frequencies(cfg.f_min_hz, cfg.f_max_hz, cfg.n_samples)
+    validation_freqs = linear_frequencies(cfg.f_min_hz, cfg.f_max_hz, cfg.n_validation)
+    clean = sample_scattering(system, measurement_freqs, system_kind="Z",
+                              label="pdn monte-carlo clean")
+    reference = sample_scattering(system, validation_freqs, system_kind="Z",
+                                  label="pdn monte-carlo validation")
+
+    def options_for(method: str):
+        if method == "mfti":
+            return MftiOptions(block_size=mfti_block_size, rank_method="tolerance",
+                               rank_tolerance=cfg.rank_tolerance)
+        if method == "vfti":
+            return VftiOptions(rank_method="tolerance",
+                               rank_tolerance=cfg.rank_tolerance)
+        if method == "mfti-recursive":
+            return RecursiveOptions(block_size=2, samples_per_iteration=8,
+                                    initial_samples=16, rank_method="tolerance",
+                                    rank_tolerance=cfg.rank_tolerance)
+        raise ValueError(f"no Monte-Carlo options preset for method {method!r}")
+
+    jobs: list[FitJob] = []
+    for draw in range(n_draws):
+        seed = base_seed + draw
+        noisy = add_measurement_noise(clean, relative_level=noise_level, seed=seed)
+        for method in methods:
+            jobs.append(FitJob(
+                noisy,
+                method=method,
+                options=options_for(method),
+                label=f"mc/draw{draw:02d}/{method}",
+                tags={"study": "monte-carlo", "draw": draw, "seed": seed,
+                      "workload": "pdn", "method": method},
+                reference=reference,
+            ))
     return jobs

@@ -11,6 +11,8 @@ from repro.metrics.errors import (
     aggregate_error,
     entrywise_rms_error,
     max_relative_error,
+    model_aggregate_error,
+    model_errors,
     relative_error_per_frequency,
 )
 from repro.metrics.validation import ValidationReport, validate_model
@@ -20,6 +22,8 @@ __all__ = [
     "aggregate_error",
     "max_relative_error",
     "entrywise_rms_error",
+    "model_errors",
+    "model_aggregate_error",
     "ValidationReport",
     "validate_model",
 ]

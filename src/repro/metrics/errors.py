@@ -27,6 +27,7 @@ __all__ = [
     "max_relative_error",
     "entrywise_rms_error",
     "model_errors",
+    "model_aggregate_error",
 ]
 
 
@@ -51,12 +52,13 @@ def relative_error_per_frequency(model_samples, reference_samples) -> np.ndarray
         raise ValueError(
             f"model samples shape {model.shape} does not match reference {reference.shape}"
         )
-    errors = np.empty(model.shape[0])
-    for i in range(model.shape[0]):
-        denom = np.linalg.norm(reference[i], 2)
-        num = np.linalg.norm(model[i] - reference[i], 2)
-        errors[i] = num if denom == 0.0 else num / denom
-    return errors
+    if model.shape[0] == 0:
+        return np.empty(0)
+    # spectral norms of the whole stack in one batched SVD each (the same
+    # per-slice LAPACK factorization np.linalg.norm(..., 2) runs one by one)
+    num = np.linalg.svd(model - reference, compute_uv=False)[..., 0]
+    denom = np.linalg.svd(reference, compute_uv=False)[..., 0]
+    return np.where(denom == 0.0, num, num / np.where(denom == 0.0, 1.0, denom))
 
 
 def aggregate_error(model_samples, reference_samples) -> float:
@@ -81,6 +83,21 @@ def entrywise_rms_error(model_samples, reference_samples) -> float:
 
 
 def model_errors(model: DescriptorSystem, reference: FrequencyData) -> np.ndarray:
-    """Per-frequency relative errors of ``model`` against a reference data set."""
+    """Per-frequency relative errors of ``model`` against a reference data set.
+
+    The model is evaluated through the shared sweep kernel
+    (:meth:`~repro.systems.statespace.DescriptorSystem.frequency_response`),
+    so dense validation sweeps use the vectorized fast paths.  This is the
+    single evaluation code path shared by :func:`validate_model`,
+    :meth:`MacromodelResult.errors_against
+    <repro.core.results.MacromodelResult.errors_against>` and the fit
+    cache's evaluation memoization.
+    """
     response = model.frequency_response(reference.frequencies_hz)
     return relative_error_per_frequency(response, reference.samples)
+
+
+def model_aggregate_error(model: DescriptorSystem, reference: FrequencyData) -> float:
+    """The paper's aggregate ``ERR`` of ``model`` against a reference data set."""
+    errors = model_errors(model, reference)
+    return float(np.linalg.norm(errors) / np.sqrt(errors.size))

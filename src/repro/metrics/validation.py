@@ -7,7 +7,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.data.dataset import FrequencyData
-from repro.metrics.errors import relative_error_per_frequency
+from repro.metrics.errors import model_errors
 from repro.systems.analysis import spectral_abscissa
 from repro.systems.statespace import DescriptorSystem
 
@@ -72,9 +72,14 @@ def validate_model(
         When false, skip the (eigenvalue-decomposition) stability check and
         report ``nan`` for the spectral abscissa -- useful in benchmarks where
         only the error matters and the model is large.
+
+    Notes
+    -----
+    The model sweep runs through the shared vectorized evaluation kernel via
+    :func:`repro.metrics.errors.model_errors`, so dense validation grids use
+    the batched/fast-path evaluation automatically.
     """
-    response = model.frequency_response(reference.frequencies_hz)
-    errors = relative_error_per_frequency(response, reference.samples)
+    errors = model_errors(model, reference)
     abscissa = spectral_abscissa(model) if check_stability else float("nan")
     return ValidationReport(
         order=model.order,

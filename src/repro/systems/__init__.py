@@ -8,6 +8,9 @@ with possibly singular ``E`` (a *descriptor system*, DS).  It provides
 
 * :class:`~repro.systems.statespace.DescriptorSystem` -- the central model
   class with transfer-function evaluation ``H(s) = C (sE - A)^{-1} B + D``,
+* the shared vectorized sweep-evaluation kernel (batched stacked-pencil
+  solves, the shift-invert eigendecomposition fast path and pole-residue
+  Cauchy evaluation) in :mod:`repro.systems.evaluation`,
 * system analysis (poles, stability, controllability/observability Gramians,
   Hankel singular values) in :mod:`repro.systems.analysis`,
 * balanced truncation for reference reductions in :mod:`repro.systems.balanced`,
@@ -21,6 +24,13 @@ with possibly singular ``E`` (a *descriptor system*, DS).  It provides
 """
 
 from repro.systems.statespace import DescriptorSystem, StateSpace
+from repro.systems.evaluation import (
+    EvaluationPlan,
+    build_evaluation_plan,
+    evaluate_cauchy,
+    evaluate_descriptor,
+    evaluate_pointwise,
+)
 from repro.systems.analysis import (
     controllability_gramian,
     hankel_singular_values,
@@ -50,6 +60,11 @@ from repro.systems.timedomain import impulse_response, simulate_lsim, step_respo
 __all__ = [
     "DescriptorSystem",
     "StateSpace",
+    "EvaluationPlan",
+    "build_evaluation_plan",
+    "evaluate_descriptor",
+    "evaluate_pointwise",
+    "evaluate_cauchy",
     "controllability_gramian",
     "observability_gramian",
     "hankel_singular_values",

@@ -1,0 +1,349 @@
+"""Shared vectorized sweep-evaluation kernel.
+
+Every layer of the library ultimately evaluates a transfer function over a
+set of complex points: sampling circuits into datasets, computing error
+norms against measurement/validation grids, the recursive front-end's
+hold-out residuals, and pole-residue model sweeps.  This module is the one
+implementation all of them share.  Three evaluation strategies are provided
+for descriptor systems ``H(s) = C (sE - A)^{-1} B + D``:
+
+``pointwise``
+    The reference per-point loop: one dense ``(sE - A)`` solve per point,
+    falling back to a least-squares solve when the pencil is exactly
+    singular at a point.  This is the semantics every other strategy is
+    measured against (and what the pre-kernel code implemented four times).
+
+``solve``
+    Batched stacked-pencil solves: the pencils are assembled as a
+    ``(chunk, n, n)`` array and handed to ``np.linalg.solve`` in one gufunc
+    call per chunk.  The per-slice LAPACK calls are identical to the loop's,
+    so the results are **bitwise identical** to ``pointwise`` -- this is the
+    strategy used wherever bit-stable reproducibility matters (dataset
+    generation, content-addressed fingerprints).  A chunk containing a
+    singular pencil transparently degrades to the per-point reference.
+
+``diag``
+    The eigendecomposition fast path.  A spectral shift ``sigma`` turns the
+    (possibly singular-``E``) pencil into the ordinary eigenproblem of
+    ``K = (A - sigma E)^{-1} E``; with ``K = V diag(lambda) V^{-1}``,
+
+    ``(sE - A)^{-1} = V diag(1 / ((s - sigma) lambda_i - 1)) V^{-1} (A - sigma E)^{-1}``
+
+    so after an O(n^3) plan (:class:`EvaluationPlan`) every point costs only
+    ``O(n m + p n m)`` -- the same Cauchy-kernel algebra as a pole-residue
+    model, eq. ``H(s) = Ctilde (sI - Lambda)^{-1} Btilde + D`` in
+    diagonalized coordinates.  Plans are verified against the direct solve
+    at probe points and rejected (per-system fallback to ``solve``) when the
+    pencil is non-diagonalizable or too ill-conditioned; points where the
+    pencil is singular are repaired through the pointwise reference.
+
+``auto`` picks ``diag`` when the sweep is long enough to amortize the plan
+and the plan verifies, and ``solve`` otherwise.  Pole-residue (Cauchy)
+models are served by :func:`evaluate_cauchy`, which is the same vectorized
+weights-times-residues contraction the ``diag`` plan uses internally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "EvaluationPlan",
+    "build_evaluation_plan",
+    "verify_evaluation_plan",
+    "evaluate_descriptor",
+    "evaluate_pointwise",
+    "evaluate_cauchy",
+    "FAST_PATH_MIN_POINTS",
+    "PLAN_GUARD_TOLERANCE",
+    "SINGULAR_DENOMINATOR_RTOL",
+    "SOLVE_CHUNK",
+]
+
+#: Minimum number of points for which ``auto`` tries the ``diag`` fast path;
+#: shorter sweeps cannot amortize the O(n^3) plan.
+FAST_PATH_MIN_POINTS = 8
+
+#: Relative agreement (vs the direct solve, at probe points) a plan must
+#: achieve before the fast path is trusted for a system.
+PLAN_GUARD_TOLERANCE = 1e-7
+
+#: Points per stacked ``np.linalg.solve`` call; bounds the transient
+#: ``(chunk, n, n)`` pencil array to a cache-friendly size.
+SOLVE_CHUNK = 64
+
+#: Relative cancellation threshold below which a Cauchy-weight denominator
+#: ``(s - sigma) lambda - 1`` marks the pencil (near-)singular at a point.
+#: Rounding rarely makes the denominator *exactly* zero at a singular point,
+#: so an ``isfinite`` check alone would let ~1e15-magnitude garbage through;
+#: such points are repaired via the dense per-point reference instead.
+SINGULAR_DENOMINATOR_RTOL = 1e-8
+
+_METHODS = ("auto", "solve", "diag", "pointwise")
+
+
+def _point_solve(E: np.ndarray, A: np.ndarray, B: np.ndarray, s: complex) -> np.ndarray:
+    """``(sE - A)^{-1} B`` at one point; least-squares on a singular pencil."""
+    pencil = s * E - A
+    try:
+        return np.linalg.solve(pencil, B)
+    except np.linalg.LinAlgError:
+        return np.linalg.lstsq(pencil, B, rcond=None)[0]
+
+
+def evaluate_pointwise(E, A, B, C, D, points) -> np.ndarray:
+    """Reference per-point loop: ``H(s_i) = C (s_i E - A)^{-1} B + D``.
+
+    This is the semantics the vectorized strategies replicate; it is kept
+    (and exported) as the comparison baseline for the equivalence tests and
+    the ``bench_eval_kernel`` speedup measurements.
+    """
+    pts = np.asarray(points, dtype=complex).ravel()
+    b = B.astype(complex)
+    out = np.empty((pts.size, C.shape[0], B.shape[1]), dtype=complex)
+    for i, s in enumerate(pts):
+        out[i] = C @ _point_solve(E, A, b, complex(s)) + D
+    return out
+
+
+def _evaluate_solve(E, A, B, C, D, pts: np.ndarray, *, chunk: int = SOLVE_CHUNK) -> np.ndarray:
+    """Batched stacked-pencil solves, bitwise identical to the reference loop."""
+    b = B.astype(complex)
+    out = np.empty((pts.size, C.shape[0], B.shape[1]), dtype=complex)
+    for lo in range(0, pts.size, chunk):
+        block = pts[lo : lo + chunk]
+        pencils = block[:, np.newaxis, np.newaxis] * E - A
+        try:
+            x = np.linalg.solve(pencils, np.broadcast_to(b, (block.size,) + b.shape))
+        except np.linalg.LinAlgError:
+            # a singular pencil inside the chunk: degrade to the per-point
+            # reference, which resolves exactly the singular points via lstsq
+            out[lo : lo + block.size] = evaluate_pointwise(E, A, B, C, D, block)
+            continue
+        out[lo : lo + block.size] = np.matmul(C, x) + D
+    return out
+
+
+def evaluate_cauchy(poles, residues, d, points) -> np.ndarray:
+    """Vectorized pole-residue (Cauchy) evaluation ``sum_n R_n / (s - a_n) + D``.
+
+    Parameters
+    ----------
+    poles:
+        Complex pole array of length ``n``.
+    residues:
+        Residue matrices, shape ``(n, p, m)``.
+    d:
+        Constant term ``(p, m)``.
+    points:
+        Complex evaluation points (used verbatim).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(k, p, m)`` stacked evaluations.
+    """
+    pts = np.asarray(points, dtype=complex).ravel()
+    poles = np.asarray(poles, dtype=complex).ravel()
+    weights = 1.0 / (pts[:, np.newaxis] - poles[np.newaxis, :])  # (k, n)
+    response = np.tensordot(weights, residues, axes=(1, 0))      # (k, p, m)
+    return response + np.asarray(d)[np.newaxis, :, :]
+
+
+@dataclass(frozen=True)
+class EvaluationPlan:
+    """Precomputed shift-invert diagonalization of one descriptor system.
+
+    Attributes
+    ----------
+    sigma:
+        The spectral shift used to regularise the pencil (chosen from the
+        probe points; any value that is not a generalized eigenvalue works).
+    eigenvalues:
+        Eigenvalues ``lambda_i`` of ``K = (A - sigma E)^{-1} E``.  Infinite
+        generalized eigenvalues of ``(A, E)`` map to ``lambda_i = 0`` and are
+        handled exactly -- singular ``E`` needs no special casing.
+    b_tilde:
+        ``V^{-1} (A - sigma E)^{-1} B`` (``n x m``).
+    c_tilde:
+        ``C V`` (``p x n``).
+    d:
+        Feed-through term ``(p, m)``.
+    """
+
+    sigma: complex
+    eigenvalues: np.ndarray
+    b_tilde: np.ndarray
+    c_tilde: np.ndarray
+    d: np.ndarray
+
+    def evaluate(self, points) -> np.ndarray:
+        """Evaluate the transfer function at ``points`` (``(k, p, m)``).
+
+        Points where the pencil is (near-)singular produce non-finite or
+        cancellation-polluted values; use :func:`evaluate_descriptor` for
+        the guarded version that repairs them through the pointwise
+        reference (see :meth:`suspect_points`).
+        """
+        pts = np.asarray(points, dtype=complex).ravel()
+        with np.errstate(divide="ignore", invalid="ignore"):
+            weights = 1.0 / (
+                (pts[:, np.newaxis] - self.sigma) * self.eigenvalues[np.newaxis, :] - 1.0
+            )
+            scaled = weights[:, np.newaxis, :] * self.c_tilde[np.newaxis, :, :]  # (k, p, n)
+            return scaled @ self.b_tilde + self.d
+
+    def suspect_points(self, points) -> np.ndarray:
+        """Boolean mask of points where the pencil is (near-)singular.
+
+        A weight denominator ``(s - sigma) lambda_i - 1`` that nearly
+        cancels means ``s`` sits (numerically) on a generalized eigenvalue
+        of the pencil: the fast path loses up to every significant digit
+        there, usually *without* overflowing to inf.  Those points must be
+        evaluated through the dense reference instead.
+        """
+        pts = np.asarray(points, dtype=complex).ravel()
+        z = (pts[:, np.newaxis] - self.sigma) * self.eigenvalues[np.newaxis, :]
+        return np.any(
+            np.abs(z - 1.0) <= SINGULAR_DENOMINATOR_RTOL * (np.abs(z) + 1.0), axis=1
+        )
+
+
+def _choose_sigma(pts: np.ndarray) -> complex:
+    """A real spectral shift on the scale of the requested points."""
+    scale = float(np.median(np.abs(pts))) if pts.size else 0.0
+    return complex(scale if scale > 0.0 else 1.0)
+
+
+def _probe_indices(n_points: int, n_probes: int = 3) -> np.ndarray:
+    """Deterministic probe positions spread over the requested sweep."""
+    if n_points <= n_probes:
+        return np.arange(n_points)
+    return np.unique(np.linspace(0, n_points - 1, n_probes).astype(int))
+
+
+def verify_evaluation_plan(
+    plan: EvaluationPlan, E, A, B, C, D, probe_points, *,
+    guard_tolerance: float = PLAN_GUARD_TOLERANCE,
+) -> bool:
+    """Whether the plan reproduces the direct solve at probe points.
+
+    Probes where the pencil is (near-)singular are excluded -- the guarded
+    evaluation repairs those through the reference anyway, so they say
+    nothing about the plan's quality elsewhere.
+    """
+    pts = np.asarray(probe_points, dtype=complex).ravel()
+    probes = pts[_probe_indices(pts.size)]
+    probes = probes[~plan.suspect_points(probes)]
+    if not probes.size:
+        return True
+    fast = plan.evaluate(probes)
+    direct = _evaluate_solve(E, A, B, C, D, probes)
+    scale = np.linalg.norm(direct.reshape(probes.size, -1), axis=1)
+    mismatch = np.linalg.norm((fast - direct).reshape(probes.size, -1), axis=1)
+    return bool(np.all(
+        mismatch <= guard_tolerance * np.maximum(scale, np.finfo(float).tiny)
+    ))
+
+
+def build_evaluation_plan(
+    E, A, B, C, D, probe_points, *, sigma=None, guard_tolerance: float = PLAN_GUARD_TOLERANCE
+):
+    """Build and verify a :class:`EvaluationPlan`, or return ``None``.
+
+    The plan is checked against the direct dense solve at a few probe points
+    drawn from ``probe_points``; a relative disagreement beyond
+    ``guard_tolerance`` (ill-conditioned eigenvectors, non-diagonalizable
+    pencil) rejects the plan so callers fall back to the ``solve`` strategy
+    for this system.  Callers that later reuse a cached plan on sweeps
+    outside the band it was verified on should re-check it with
+    :func:`verify_evaluation_plan` (as
+    :meth:`DescriptorSystem.evaluate_many <repro.systems.statespace.DescriptorSystem.evaluate_many>`
+    does).
+    """
+    pts = np.asarray(probe_points, dtype=complex).ravel()
+    shift = _choose_sigma(pts) if sigma is None else complex(sigma)
+    try:
+        factor = A - shift * E
+        k_mat = np.linalg.solve(factor, E)
+        eigenvalues, vectors = np.linalg.eig(k_mat)
+        b_tilde = np.linalg.solve(vectors, np.linalg.solve(factor, B.astype(complex)))
+        c_tilde = C @ vectors
+    except np.linalg.LinAlgError:
+        return None
+    if not (np.all(np.isfinite(eigenvalues)) and np.all(np.isfinite(b_tilde))
+            and np.all(np.isfinite(c_tilde))):
+        return None
+    plan = EvaluationPlan(
+        sigma=shift,
+        eigenvalues=eigenvalues,
+        b_tilde=b_tilde,
+        c_tilde=c_tilde,
+        d=np.asarray(D),
+    )
+    if not verify_evaluation_plan(plan, E, A, B, C, D, pts,
+                                  guard_tolerance=guard_tolerance):
+        return None
+    return plan
+
+
+def _evaluate_with_plan(plan: EvaluationPlan, E, A, B, C, D, pts: np.ndarray) -> np.ndarray:
+    """Fast-path evaluation with (near-)singular points repaired via the reference."""
+    out = plan.evaluate(pts)
+    bad = plan.suspect_points(pts) | ~np.isfinite(out).all(axis=(1, 2))
+    if np.any(bad):
+        out[bad] = evaluate_pointwise(E, A, B, C, D, pts[bad])
+    return out
+
+
+def evaluate_descriptor(
+    E, A, B, C, D, points, *, method: str = "auto", plan: EvaluationPlan | None = None
+) -> np.ndarray:
+    """Evaluate ``H(s) = C (sE - A)^{-1} B + D`` at many points.
+
+    Parameters
+    ----------
+    E, A, B, C, D:
+        The descriptor quintuple (``E`` may be singular).
+    points:
+        Complex points, used verbatim.
+    method:
+        ``"auto"`` (fast path when profitable and valid), ``"solve"``
+        (batched, bitwise identical to the loop), ``"diag"`` (force the
+        eigendecomposition path; raises :exc:`numpy.linalg.LinAlgError` when
+        no valid plan exists), or ``"pointwise"`` (the reference loop).
+    plan:
+        Optional pre-built :class:`EvaluationPlan` (e.g. the one cached on a
+        :class:`~repro.systems.statespace.DescriptorSystem`).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(k, p, m)`` stacked evaluations.
+    """
+    if method not in _METHODS:
+        raise ValueError(f"method must be one of {_METHODS}, got {method!r}")
+    pts = np.asarray(points, dtype=complex).ravel()
+    if pts.size == 0:
+        return np.empty((0, C.shape[0], B.shape[1]), dtype=complex)
+    if method == "pointwise":
+        return evaluate_pointwise(E, A, B, C, D, pts)
+    if method == "solve":
+        return _evaluate_solve(E, A, B, C, D, pts)
+    if method == "diag":
+        if plan is None:
+            plan = build_evaluation_plan(E, A, B, C, D, pts)
+        if plan is None:
+            raise np.linalg.LinAlgError(
+                "no valid diagonalization fast path for this system "
+                "(non-diagonalizable or ill-conditioned pencil)"
+            )
+        return _evaluate_with_plan(plan, E, A, B, C, D, pts)
+    # auto
+    if plan is None and pts.size >= FAST_PATH_MIN_POINTS:
+        plan = build_evaluation_plan(E, A, B, C, D, pts)
+    if plan is not None:
+        return _evaluate_with_plan(plan, E, A, B, C, D, pts)
+    return _evaluate_solve(E, A, B, C, D, pts)

@@ -21,6 +21,12 @@ from typing import Iterable, Optional
 
 import numpy as np
 
+from repro.systems.evaluation import (
+    FAST_PATH_MIN_POINTS,
+    build_evaluation_plan,
+    evaluate_descriptor,
+    verify_evaluation_plan,
+)
 from repro.utils.validation import check_finite, ensure_2d
 
 __all__ = ["DescriptorSystem", "StateSpace"]
@@ -30,6 +36,15 @@ def _as_readonly(array: np.ndarray) -> np.ndarray:
     out = np.array(array, copy=True)
     out.setflags(write=False)
     return out
+
+
+#: Sentinel stored in the plan cache when the fast path was tried and rejected.
+_PLAN_UNAVAILABLE = object()
+
+#: How far (multiplicatively) a sweep may leave the plan's verified
+#: point-magnitude band before the cached plan is re-verified against the
+#: dense solve on the new sweep's probe points.
+_PLAN_BAND_MARGIN = 16.0
 
 
 class DescriptorSystem:
@@ -84,6 +99,11 @@ class DescriptorSystem:
         self._B = _as_readonly(B)
         self._C = _as_readonly(C)
         self._D = _as_readonly(D)
+        # lazily built evaluation fast path (shared sweep-evaluation kernel);
+        # safe to cache because the matrices are immutable.  The band records
+        # the point-magnitude range the plan has been verified on.
+        self._eval_plan = None
+        self._eval_plan_band = None
 
     # ------------------------------------------------------------------ #
     # basic properties
@@ -158,6 +178,14 @@ class DescriptorSystem:
             f"outputs={self.n_outputs}, {kind})"
         )
 
+    def __getstate__(self):
+        # the plan cache may hold an identity-based sentinel; rebuild lazily
+        # on the other side instead of shipping it across pickle boundaries
+        state = self.__dict__.copy()
+        state["_eval_plan"] = None
+        state["_eval_plan_band"] = None
+        return state
+
     # ------------------------------------------------------------------ #
     # transfer-function evaluation
     # ------------------------------------------------------------------ #
@@ -175,13 +203,59 @@ class DescriptorSystem:
         """Alias for :meth:`transfer_function`."""
         return self.transfer_function(s)
 
-    def frequency_response(self, frequencies_hz: Iterable[float]) -> np.ndarray:
+    @staticmethod
+    def _point_band(points: np.ndarray) -> tuple[float, float]:
+        magnitudes = np.abs(points)
+        tiny = float(np.finfo(float).tiny)
+        return (max(float(np.min(magnitudes)), tiny),
+                max(float(np.max(magnitudes)), tiny))
+
+    def _evaluation_plan(self, probe_points: np.ndarray):
+        """The cached fast-path plan, building (and verifying) it on first use.
+
+        The plan's probe verification only covers the point band it was
+        built on; a later sweep that leaves that band (beyond a fixed
+        margin) triggers a cheap re-verification against the dense solve at
+        the new sweep's probes.  Success extends the recorded band; failure
+        falls back to the batched solve for that sweep without discarding
+        the plan for in-band use.
+        """
+        if self._eval_plan is None:
+            plan = build_evaluation_plan(
+                self._E, self._A, self._B, self._C, self._D, probe_points
+            )
+            # publish the band before the plan: concurrent readers on a
+            # shared system must never observe a plan without its band
+            if plan is not None:
+                self._eval_plan_band = self._point_band(probe_points)
+            self._eval_plan = _PLAN_UNAVAILABLE if plan is None else plan
+        plan = self._eval_plan
+        if plan is _PLAN_UNAVAILABLE:
+            return None
+        lo, hi = self._eval_plan_band
+        new_lo, new_hi = self._point_band(probe_points)
+        if new_lo >= lo / _PLAN_BAND_MARGIN and new_hi <= hi * _PLAN_BAND_MARGIN:
+            return plan
+        if verify_evaluation_plan(plan, self._E, self._A, self._B, self._C,
+                                  self._D, probe_points):
+            self._eval_plan_band = (min(lo, new_lo), max(hi, new_hi))
+            return plan
+        return None
+
+    def frequency_response(
+        self, frequencies_hz: Iterable[float], *, method: str = "auto"
+    ) -> np.ndarray:
         """Evaluate the transfer function at ``s = j 2 pi f`` for every frequency.
 
         Parameters
         ----------
         frequencies_hz:
             Iterable of frequencies in Hz.
+        method:
+            Evaluation strategy of the shared sweep kernel
+            (:mod:`repro.systems.evaluation`): ``"auto"`` (default),
+            ``"solve"`` (bitwise equal to the per-point reference),
+            ``"diag"`` or ``"pointwise"``.
 
         Returns
         -------
@@ -190,23 +264,30 @@ class DescriptorSystem:
             the first axis.
         """
         freqs = np.asarray(list(frequencies_hz), dtype=float)
-        response = np.empty((freqs.size, self.n_outputs, self.n_inputs), dtype=complex)
-        for i, f in enumerate(freqs):
-            response[i] = self.transfer_function(1j * 2.0 * np.pi * f)
-        return response
+        return self.evaluate_many(1j * 2.0 * np.pi * freqs, method=method)
 
-    def evaluate_many(self, points: Iterable[complex]) -> np.ndarray:
+    def evaluate_many(self, points: Iterable[complex], *, method: str = "auto") -> np.ndarray:
         """Evaluate the transfer function at arbitrary complex points.
 
         Unlike :meth:`frequency_response` the points are used verbatim (no
         ``j 2 pi f`` mapping), which is what the interpolation core needs when
         it works with the ``lambda_i`` / ``mu_i`` sample points directly.
+        The evaluation runs through the shared vectorized kernel
+        (:mod:`repro.systems.evaluation`): ``method="auto"`` uses the cached
+        eigendecomposition fast path when the sweep is long enough to
+        amortize it (and the plan verifies for this system), and the
+        batched stacked-pencil solve -- bitwise identical to the per-point
+        reference loop -- otherwise.
         """
         pts = np.asarray(list(points), dtype=complex)
-        response = np.empty((pts.size, self.n_outputs, self.n_inputs), dtype=complex)
-        for i, s in enumerate(pts):
-            response[i] = self.transfer_function(s)
-        return response
+        plan = None
+        if method == "auto" and pts.size >= FAST_PATH_MIN_POINTS:
+            plan = self._evaluation_plan(pts)
+            if plan is None:
+                method = "solve"
+        return evaluate_descriptor(
+            self._E, self._A, self._B, self._C, self._D, pts, method=method, plan=plan
+        )
 
     def dc_gain(self) -> np.ndarray:
         """Transfer function at ``s = 0`` (``-C A^{-1} B + D``)."""

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.systems.evaluation import evaluate_cauchy
 from repro.systems.statespace import StateSpace
 from repro.utils.validation import ensure_2d
 
@@ -120,13 +121,21 @@ class PoleResidueModel:
         """Alias for :meth:`transfer_function`."""
         return self.transfer_function(s)
 
-    def frequency_response(self, frequencies_hz) -> np.ndarray:
+    def evaluate_many(self, points, *, method: str = "auto") -> np.ndarray:
+        """Evaluate ``H`` at arbitrary complex points (shape ``(k, p, m)``).
+
+        Pole-residue models are already diagonal, so every strategy of the
+        shared kernel reduces to the same vectorized Cauchy contraction
+        (:func:`repro.systems.evaluation.evaluate_cauchy`); ``method`` is
+        accepted for interface parity with
+        :meth:`repro.systems.statespace.DescriptorSystem.evaluate_many`.
+        """
+        return evaluate_cauchy(self._poles, self._residues, self._d, points)
+
+    def frequency_response(self, frequencies_hz, *, method: str = "auto") -> np.ndarray:
         """Evaluate ``H(j 2 pi f)`` over a frequency grid (shape ``(k, p, m)``)."""
         freqs = np.asarray(frequencies_hz, dtype=float).ravel()
-        s = 1j * 2.0 * np.pi * freqs
-        weights = 1.0 / (s[:, np.newaxis] - self._poles[np.newaxis, :])  # (k, n)
-        response = np.tensordot(weights, self._residues, axes=(1, 0))     # (k, p, m)
-        return response + self._d[np.newaxis, :, :]
+        return self.evaluate_many(1j * 2.0 * np.pi * freqs, method=method)
 
     # ------------------------------------------------------------------ #
     # conversion

@@ -58,10 +58,15 @@ def test_fingerprint_invariant_under_copy_and_dtype_roundtrip(data):
     )
     assert dataset_fingerprint(copied) == baseline
     # lossless dtype round-trip: complex128 -> (re, im) float64 -> complex128,
-    # plus frequencies through a python-float list
+    # plus frequencies through a python-float list.  The components are
+    # reassembled by field assignment: `re + 1j*im` is NOT lossless, because
+    # IEEE addition collapses a negative-zero real part to +0.0
+    rebuilt_samples = np.empty(data.samples.shape, dtype=complex)
+    rebuilt_samples.real = data.samples.real.astype(np.float64)
+    rebuilt_samples.imag = data.samples.imag.astype(np.float64)
     rebuilt = FrequencyData(
         [float(f) for f in data.frequencies_hz],
-        data.samples.real.astype(np.float64) + 1j * data.samples.imag,
+        rebuilt_samples,
         kind=data.kind,
         reference_impedance=data.reference_impedance,
     )

@@ -61,6 +61,18 @@ class TestLoewnerPencil:
         for values in profiles.values():
             assert np.all(np.diff(values) <= 1e-12)
 
+    def test_singular_value_profiles_selectable(self, setup):
+        """Requesting a subset computes only those SVDs (same values)."""
+        _, _, _, pencil = setup
+        full = pencil.singular_values()
+        pencil_only = pencil.singular_values(profiles=("pencil",))
+        assert set(pencil_only) == {"pencil"}
+        assert np.array_equal(pencil_only["pencil"], full["pencil"])
+        two = pencil.singular_values(profiles=("loewner", "pencil"))
+        assert set(two) == {"loewner", "pencil"}
+        with pytest.raises(ValueError, match="unknown singular-value profiles"):
+            pencil.singular_values(profiles=("bogus",))
+
     def test_augmented_matrices(self, setup):
         _, _, _, pencil = setup
         assert pencil.augmented_row_matrix().shape == (pencil.k_left, 2 * pencil.k_right)

@@ -65,6 +65,14 @@ class TestRecursiveMfti:
         assert recursion.converged
         assert result.aggregate_error(reference) < 5e-2
 
+    def test_reports_only_pencil_singular_values(self, noisy_oversampled):
+        """The recursive front-end skips the L / sL SVDs per iteration."""
+        _, noisy, _ = noisy_oversampled
+        result = recursive_mfti(noisy, options=RecursiveOptions(
+            block_size=2, samples_per_iteration=3, error_threshold=1e-3,
+            rank_method="tolerance", rank_tolerance=1e-4))
+        assert set(result.singular_values) == {"pencil"}
+
     def test_uses_fewer_samples_than_available(self, noisy_oversampled):
         _, noisy, _ = noisy_oversampled
         options = RecursiveOptions(block_size=2, samples_per_iteration=2,

@@ -1,0 +1,398 @@
+"""Equivalence, golden and edge-case tests of the shared sweep-evaluation kernel.
+
+The kernel (:mod:`repro.systems.evaluation`) replaces four independent
+per-point evaluation loops, so its contract is locked from three sides:
+
+* **golden fixtures** -- ``tests/golden/golden_eval.json`` pins literal
+  ``H(s)`` values (computed by the per-point reference loop) for a
+  deterministic system zoo; every strategy must reproduce them to
+  ``<= 1e-10`` relative error per point.  Regenerate after an *intentional*
+  numerical change with::
+
+      PYTHONPATH=src python tests/test_evaluation_kernel.py --regenerate
+
+* **hypothesis properties** -- over randomly generated stable systems the
+  batched ``solve`` strategy is *bitwise identical* to the reference loop,
+  and the ``auto`` strategy (eigendecomposition fast path) agrees to
+  ``<= 1e-10`` relative error per point;
+
+* **edge cases** -- empty point sets, generator inputs, singular pencils
+  taking the least-squares fallback, non-square systems, non-diagonalizable
+  pencils rejecting the fast path, and plan-cache pickling.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.pdn import PdnConfiguration, power_distribution_network
+from repro.metrics.errors import relative_error_per_frequency
+from repro.systems import DescriptorSystem, StateSpace, random_stable_system
+from repro.systems.evaluation import (
+    FAST_PATH_MIN_POINTS,
+    build_evaluation_plan,
+    evaluate_cauchy,
+    evaluate_descriptor,
+    evaluate_pointwise,
+)
+from repro.vectorfitting.rational import PoleResidueModel
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden", "golden_eval.json")
+
+#: The acceptance bound: every vectorized strategy matches the per-point
+#: reference loop to this relative error per evaluation point.
+EQUIVALENCE_RTOL = 1e-10
+
+METHODS = ("solve", "auto", "pointwise")
+
+
+# --------------------------------------------------------------------------- #
+# deterministic system zoo
+# --------------------------------------------------------------------------- #
+def _zoo() -> dict[str, tuple[DescriptorSystem, np.ndarray]]:
+    """Named deterministic systems with their evaluation points.
+
+    Covers: a standard state-space model, a singular-``E`` descriptor
+    (MNA-assembled circuit), and a non-square system -- each with points on
+    and off the imaginary axis.
+    """
+    axis = 1j * 2.0 * np.pi * np.logspace(1.0, 5.0, 12)
+    shifted = axis + np.linspace(10.0, 1e4, 12)
+    random_sys = random_stable_system(order=24, n_ports=3, feedthrough=0.1, seed=7)
+    pdn = power_distribution_network(
+        PdnConfiguration(n_ports=2, grid_rows=3, grid_cols=3, n_decaps=2, n_bulk_caps=1)
+    )
+    pdn_axis = 1j * 2.0 * np.pi * np.logspace(6.0, 9.4, 12)
+    non_square = random_stable_system(order=16, n_ports=4, feedthrough=0.1, seed=21
+                                      ).subsystem(outputs=[0, 2])
+    return {
+        "random-statespace": (random_sys, np.concatenate([axis, shifted])),
+        "pdn-descriptor": (pdn, pdn_axis),
+        "non-square": (non_square, axis),
+    }
+
+
+def _per_point_relative(got: np.ndarray, want: np.ndarray) -> np.ndarray:
+    k = want.shape[0]
+    scale = np.maximum(np.linalg.norm(want.reshape(k, -1), axis=1), np.finfo(float).tiny)
+    return np.linalg.norm((got - want).reshape(k, -1), axis=1) / scale
+
+
+def regenerate() -> str:
+    """Recompute the golden reference values with the per-point loop."""
+    cases = []
+    for name, (system, points) in _zoo().items():
+        values = evaluate_pointwise(system.E, system.A, system.B, system.C,
+                                    system.D, points)
+        cases.append({
+            "name": name,
+            "points_real": points.real.tolist(),
+            "points_imag": points.imag.tolist(),
+            "values_real": values.real.tolist(),
+            "values_imag": values.imag.tolist(),
+        })
+    document = {
+        "description": "reference transfer-function values of the evaluation-kernel zoo",
+        "equivalence_rtol": EQUIVALENCE_RTOL,
+        "cases": cases,
+    }
+    os.makedirs(os.path.dirname(GOLDEN_PATH), exist_ok=True)
+    with open(GOLDEN_PATH, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return GOLDEN_PATH
+
+
+@pytest.fixture(scope="module")
+def golden():
+    if not os.path.exists(GOLDEN_PATH):
+        pytest.fail(f"golden fixture missing: {GOLDEN_PATH} "
+                    "(run `python tests/test_evaluation_kernel.py --regenerate`)")
+    with open(GOLDEN_PATH, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+class TestGoldenEquivalence:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_every_strategy_reproduces_golden_values(self, golden, method):
+        zoo = _zoo()
+        assert {case["name"] for case in golden["cases"]} == set(zoo)
+        for case in golden["cases"]:
+            system, points = zoo[case["name"]]
+            stored_points = (np.asarray(case["points_real"])
+                             + 1j * np.asarray(case["points_imag"]))
+            np.testing.assert_array_equal(stored_points, points,
+                                          err_msg=f"{case['name']}: zoo drifted")
+            want = (np.asarray(case["values_real"])
+                    + 1j * np.asarray(case["values_imag"]))
+            got = system.evaluate_many(points, method=method)
+            rel = _per_point_relative(got, want)
+            assert np.max(rel) <= golden["equivalence_rtol"], (
+                f"{case['name']} via {method}: max per-point relative error "
+                f"{np.max(rel):.2e} exceeds {golden['equivalence_rtol']:g}"
+            )
+
+    def test_solve_is_bitwise_identical_to_pointwise(self):
+        for name, (system, points) in _zoo().items():
+            ref = evaluate_pointwise(system.E, system.A, system.B, system.C,
+                                     system.D, points)
+            got = system.evaluate_many(points, method="solve")
+            assert np.array_equal(got, ref), f"{name}: solve drifted from the loop"
+
+
+# --------------------------------------------------------------------------- #
+# hypothesis properties
+# --------------------------------------------------------------------------- #
+@settings(max_examples=20, deadline=None)
+@given(order=st.integers(min_value=2, max_value=20),
+       n_ports=st.integers(min_value=1, max_value=4),
+       seed=st.integers(min_value=0, max_value=2**31 - 1),
+       n_points=st.integers(min_value=1, max_value=24))
+def test_vectorized_matches_loop_property(order, n_ports, seed, n_points):
+    """solve == loop bitwise; auto (fast path) == loop to <= 1e-10 relative."""
+    system = random_stable_system(order=order, n_ports=n_ports,
+                                  feedthrough=0.05, seed=seed)
+    points = 1j * 2.0 * np.pi * np.logspace(1.0, 5.0, n_points)
+    ref = evaluate_pointwise(system.E, system.A, system.B, system.C,
+                             system.D, points)
+    assert np.array_equal(system.evaluate_many(points, method="solve"), ref)
+    fast = system.evaluate_many(points, method="auto")
+    assert np.max(_per_point_relative(fast, ref)) <= EQUIVALENCE_RTOL
+
+
+@settings(max_examples=20, deadline=None)
+@given(n_poles=st.integers(min_value=1, max_value=6),
+       p=st.integers(min_value=1, max_value=3),
+       m=st.integers(min_value=1, max_value=3),
+       seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_cauchy_kernel_matches_per_point_evaluation(n_poles, p, m, seed):
+    """The vectorized Cauchy contraction equals scalar pole-residue sums."""
+    rng = np.random.default_rng(seed)
+    poles = -rng.uniform(0.1, 10.0, n_poles) + 1j * rng.uniform(-5.0, 5.0, n_poles)
+    residues = rng.normal(size=(n_poles, p, m)) + 1j * rng.normal(size=(n_poles, p, m))
+    d = rng.normal(size=(p, m))
+    points = 1j * rng.uniform(0.1, 100.0, 9)
+    batched = evaluate_cauchy(poles, residues, d, points)
+    for i, s in enumerate(points):
+        expected = np.tensordot(1.0 / (s - poles), residues, axes=(0, 0)) + d
+        np.testing.assert_allclose(batched[i], expected, rtol=1e-12, atol=0.0)
+
+
+# --------------------------------------------------------------------------- #
+# edge cases (issue satellite: evaluate_many corner behaviour)
+# --------------------------------------------------------------------------- #
+class TestEvaluateManyEdgeCases:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_empty_point_set(self, small_system, method):
+        out = small_system.evaluate_many([], method=method)
+        assert out.shape == (0, small_system.n_outputs, small_system.n_inputs)
+        assert out.dtype == complex
+
+    def test_empty_frequency_response(self, small_system):
+        out = small_system.frequency_response([])
+        assert out.shape == (0, small_system.n_outputs, small_system.n_inputs)
+
+    def test_generator_input(self, small_system):
+        points = [1j * 10.0, 1j * 100.0, 5.0 + 1j]
+        from_list = small_system.evaluate_many(points)
+        from_generator = small_system.evaluate_many(p for p in points)
+        np.testing.assert_array_equal(from_list, from_generator)
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_singular_pencil_takes_lstsq_fallback(self, method):
+        """Points where ``sE - A`` is exactly singular match the lstsq loop."""
+        system = StateSpace(np.diag([1.0, -2.0]), np.eye(2), np.eye(2),
+                            np.zeros((2, 2)))
+        # s = 1 makes the pencil exactly singular; surround it with enough
+        # regular points that the fast path is in play for "auto"
+        points = np.concatenate([[1.0 + 0.0j], 1j * np.linspace(1.0, 9.0, 9)])
+        ref = evaluate_pointwise(system.E, system.A, system.B, system.C,
+                                 system.D, points)
+        # the reference itself must have taken the least-squares branch
+        lstsq = np.linalg.lstsq(1.0 * np.eye(2) - system.A,
+                                system.B.astype(complex), rcond=None)[0]
+        np.testing.assert_allclose(ref[0], system.C @ lstsq + system.D,
+                                   rtol=1e-12, atol=1e-12)
+        got = system.evaluate_many(points, method=method)
+        assert np.all(np.isfinite(got))
+        rel = _per_point_relative(got, ref)
+        assert np.max(rel) <= EQUIVALENCE_RTOL
+
+    @pytest.mark.parametrize("a", [1.0, 0.3, 1.7, 2.5, 3.9, 5.3, 7.7, 11.1])
+    def test_singular_point_repaired_with_cached_plan(self, a):
+        """Regression: a plan cached from a *regular* sweep must not return
+        cancellation garbage when a later sweep hits a pencil eigenvalue.
+
+        The weight denominator ``(s - sigma) lambda - 1`` usually rounds to
+        ~1e-16 instead of exactly zero at the singular point, so an
+        ``isfinite`` check alone would let ~1e15-magnitude values through;
+        the near-singular mask must catch it.
+        """
+        system = StateSpace(np.diag([a, -2.0]), np.eye(2), np.eye(2),
+                            np.zeros((2, 2)))
+        regular = 1j * np.linspace(1.0, 9.0, 11) + 0.25  # plan built/verified here
+        system.evaluate_many(regular)
+        assert system._eval_plan is not None
+        sweep = np.concatenate([[complex(a)], 1j * np.linspace(1.0, 9.0, 9)])
+        got = system.evaluate_many(sweep)
+        ref = evaluate_pointwise(system.E, system.A, system.B, system.C,
+                                 system.D, sweep)
+        assert np.all(np.isfinite(got))
+        assert np.max(_per_point_relative(got, ref)) <= EQUIVALENCE_RTOL
+
+    def test_out_of_band_sweep_reverifies_cached_plan(self, small_system):
+        """A sweep far outside the verified band re-probes the cached plan."""
+        system = small_system.copy()
+        low_band = 1j * 2.0 * np.pi * np.logspace(1.0, 2.0, 12)
+        system.evaluate_many(low_band)
+        band_before = system._eval_plan_band
+        assert band_before is not None
+        high_band = 1j * 2.0 * np.pi * np.logspace(6.0, 8.0, 12)
+        got = system.evaluate_many(high_band)
+        ref = evaluate_pointwise(system.E, system.A, system.B, system.C,
+                                 system.D, high_band)
+        assert np.max(_per_point_relative(got, ref)) <= EQUIVALENCE_RTOL
+        # either the plan re-verified (band extended) or it fell back to the
+        # bitwise solve path -- both keep the result correct; the band only
+        # grows when verification succeeded
+        lo, hi = system._eval_plan_band
+        assert lo <= band_before[0] and hi >= band_before[1]
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_non_square_system(self, method):
+        base = random_stable_system(order=12, n_ports=4, feedthrough=0.1, seed=3)
+        system = base.subsystem(outputs=[0, 1], inputs=[0, 1, 2, 3])
+        assert system.shape == (2, 4)
+        points = 1j * 2.0 * np.pi * np.logspace(1.0, 4.0, 10)
+        got = system.evaluate_many(points, method=method)
+        assert got.shape == (10, 2, 4)
+        ref = evaluate_pointwise(system.E, system.A, system.B, system.C,
+                                 system.D, points)
+        assert np.max(_per_point_relative(got, ref)) <= EQUIVALENCE_RTOL
+
+    def test_scalar_and_batch_evaluation_agree(self, small_system):
+        s = 3.0 + 4.0j
+        np.testing.assert_array_equal(
+            small_system.evaluate_many([s])[0], small_system.transfer_function(s)
+        )
+
+    def test_diag_method_rejects_non_diagonalizable_pencil(self):
+        # a Jordan block is defective: the eigendecomposition fast path must
+        # refuse rather than silently return garbage
+        a = np.array([[-1.0, 1.0], [0.0, -1.0]])
+        system = StateSpace(a, np.eye(2), np.eye(2))
+        points = 1j * np.linspace(1.0, 10.0, 12)
+        with pytest.raises(np.linalg.LinAlgError):
+            system.evaluate_many(points, method="diag")
+        # auto falls back to the (bitwise-stable) batched solve
+        ref = evaluate_pointwise(system.E, system.A, system.B, system.C,
+                                 system.D, points)
+        np.testing.assert_array_equal(system.evaluate_many(points), ref)
+
+    def test_plan_is_cached_and_survives_pickle(self, small_system):
+        points = 1j * 2.0 * np.pi * np.logspace(1.0, 5.0, FAST_PATH_MIN_POINTS + 4)
+        system = small_system.copy()  # private plan cache
+        first = system.evaluate_many(points)
+        assert system._eval_plan is not None  # plan (or rejection) memoized
+        second = system.evaluate_many(points)
+        np.testing.assert_array_equal(first, second)
+        clone = pickle.loads(pickle.dumps(system))
+        np.testing.assert_allclose(clone.evaluate_many(points), first,
+                                   rtol=1e-12, atol=0.0)
+
+    def test_rejected_plan_sentinel_survives_pickle(self):
+        a = np.array([[-1.0, 1.0], [0.0, -1.0]])
+        system = StateSpace(a, np.eye(2), np.eye(2))
+        points = 1j * np.linspace(1.0, 10.0, 12)
+        ref = system.evaluate_many(points)  # caches the rejection sentinel
+        clone = pickle.loads(pickle.dumps(system))
+        np.testing.assert_array_equal(clone.evaluate_many(points), ref)
+
+
+# --------------------------------------------------------------------------- #
+# kernel-level API
+# --------------------------------------------------------------------------- #
+class TestEvaluateDescriptor:
+    def test_unknown_method_raises(self, small_system):
+        with pytest.raises(ValueError, match="method"):
+            evaluate_descriptor(small_system.E, small_system.A, small_system.B,
+                                small_system.C, small_system.D, [1j],
+                                method="fancy")
+
+    def test_plan_verification_rejects_bad_probes(self, small_system):
+        # an absurdly tight guard rejects every plan -> None
+        plan = build_evaluation_plan(
+            small_system.E, small_system.A, small_system.B, small_system.C,
+            small_system.D, 1j * np.logspace(1, 5, 10), guard_tolerance=0.0,
+        )
+        assert plan is None
+
+
+# --------------------------------------------------------------------------- #
+# consumers: pole-residue models and vectorized metrics
+# --------------------------------------------------------------------------- #
+class TestConsumers:
+    def test_pole_residue_evaluate_many_matches_scalar(self):
+        poles = np.array([-1.0 + 2.0j, -1.0 - 2.0j, -3.0])
+        residues = np.stack([
+            np.array([[1.0 + 1.0j, 0.5], [0.0, 2.0]]),
+            np.array([[1.0 - 1.0j, 0.5], [0.0, 2.0]]),
+            np.array([[0.3, 0.0], [0.1, 0.7]]),
+        ])
+        model = PoleResidueModel(poles, residues, d=np.ones((2, 2)))
+        points = 1j * np.linspace(0.5, 20.0, 7)
+        batched = model.evaluate_many(points)
+        for i, s in enumerate(points):
+            np.testing.assert_allclose(batched[i], model.transfer_function(s),
+                                       rtol=1e-12, atol=0.0)
+        np.testing.assert_array_equal(
+            model.frequency_response([1.0, 2.0]),
+            model.evaluate_many(1j * 2.0 * np.pi * np.array([1.0, 2.0])),
+        )
+
+    def test_relative_error_matches_per_sample_loop(self, rng):
+        model = rng.normal(size=(9, 3, 3)) + 1j * rng.normal(size=(9, 3, 3))
+        reference = model + 1e-3 * rng.normal(size=model.shape)
+        reference[4] = 0.0  # zero-reference frequency: absolute error branch
+        batched = relative_error_per_frequency(model, reference)
+        for i in range(model.shape[0]):
+            denom = np.linalg.norm(reference[i], 2)
+            num = np.linalg.norm(model[i] - reference[i], 2)
+            expected = num if denom == 0.0 else num / denom
+            np.testing.assert_allclose(batched[i], expected, rtol=1e-12)
+
+    def test_relative_error_empty_stack(self):
+        out = relative_error_per_frequency(np.empty((0, 2, 2)), np.empty((0, 2, 2)))
+        assert out.shape == (0,)
+
+    def test_interpolation_residuals_accepts_scalar_only_models(self, small_system,
+                                                                small_data):
+        from repro.core.mfti import mfti
+
+        result = mfti(small_data)
+        tangential = result.tangential
+
+        class ScalarOnly:
+            def transfer_function(self, s):
+                return result.system.transfer_function(s)
+
+        batched = tangential.interpolation_residuals(result.system)
+        scalar = tangential.interpolation_residuals(ScalarOnly())
+        np.testing.assert_allclose(batched[0], scalar[0], rtol=1e-9, atol=1e-12)
+        np.testing.assert_allclose(batched[1], scalar[1], rtol=1e-9, atol=1e-12)
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regenerate" in sys.argv:
+        print(f"golden fixture written to {regenerate()}")
+    else:
+        print(__doc__)

@@ -174,6 +174,60 @@ class TestAblations:
         assert all(row.extra >= 1 for row in rows)
 
 
+class TestMonteCarloJobs:
+    """The seeded Monte-Carlo noise-study grid (cache-friendly by construction)."""
+
+    #: Tiny study: 2 draws x 1 method over a small PDN, fast enough for tier 1.
+    KWARGS = dict(n_draws=2, methods=("mfti",), pdn_samples=24, pdn_validation=30,
+                  grid_rows=4, grid_cols=4)
+
+    def test_grid_shape_and_tags(self):
+        from repro.experiments.workloads import monte_carlo_jobs
+
+        jobs = monte_carlo_jobs(**self.KWARGS)
+        assert len(jobs) == 2
+        for draw, job in enumerate(jobs):
+            assert job.tags["study"] == "monte-carlo"
+            assert job.tags["draw"] == draw
+            assert job.tags["seed"] == 1000 + draw
+            assert job.reference is not None
+
+    def test_draws_share_fingerprints_across_rebuilds(self):
+        """Seeded draws are content-deterministic: rebuilding the grid yields
+        identical dataset fingerprints (the property that makes the study
+        dedupe through the fit cache), while distinct draws differ."""
+        from repro.cache import dataset_fingerprint
+        from repro.experiments.workloads import monte_carlo_jobs
+
+        first = [dataset_fingerprint(job.data) for job in monte_carlo_jobs(**self.KWARGS)]
+        second = [dataset_fingerprint(job.data) for job in monte_carlo_jobs(**self.KWARGS)]
+        assert first == second
+        assert len(set(first)) == len(first)  # independent noise per draw
+
+    def test_rerun_replays_from_cache(self):
+        from repro.batch import BatchEngine
+        from repro.cache import FitCache
+        from repro.experiments.workloads import monte_carlo_jobs
+
+        cache = FitCache()
+        engine = BatchEngine(cache=cache)
+        cold = engine.run(monte_carlo_jobs(**self.KWARGS))
+        assert cold.n_failed == 0, cold.failures
+        assert cold.n_cache_misses == cold.n_jobs
+        warm = engine.run(monte_carlo_jobs(**self.KWARGS))  # rebuilt grid, same content
+        assert warm.n_cache_hits == warm.n_jobs
+
+    def test_validates_arguments(self):
+        from repro.experiments.workloads import monte_carlo_jobs
+
+        with pytest.raises(ValueError):
+            monte_carlo_jobs(n_draws=0)
+        with pytest.raises(ValueError):
+            monte_carlo_jobs(methods=())
+        with pytest.raises(ValueError):
+            monte_carlo_jobs(**{**self.KWARGS, "methods": ("no-such-method",)})
+
+
 class TestReporting:
     def test_format_table_alignment(self):
         text = format_table(["name", "value"], [["a", 1.0], ["bb", 0.5]], title="demo")

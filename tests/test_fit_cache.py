@@ -22,6 +22,7 @@ import pytest
 
 from repro.batch import BatchEngine, FitJob, numerical_differences, run_job
 from repro.cache import (
+    PAYLOAD_SCHEMA_VERSION,
     DiskStore,
     FitCache,
     MemoryStore,
@@ -197,7 +198,7 @@ class TestDiskStore:
         payload = result_to_payload(run_fit(small_data, method="mfti"))
         store.save(key, payload)
         assert key in store and store.keys() == [key]
-        npz = tmp_path / "cache" / "v1" / key[:2] / f"{key}.npz"
+        npz = tmp_path / "cache" / f"v{PAYLOAD_SCHEMA_VERSION}" / key[:2] / f"{key}.npz"
         assert npz.exists() and npz.with_suffix(".json").exists()
         arrays, meta = store.load(key)
         assert np.array_equal(arrays["A"], payload[0]["A"])

@@ -1,0 +1,125 @@
+"""Unit tests of the perf-regression gate's rule engine.
+
+``benchmarks/check_perf_regression.py`` is a standalone CI script (the
+``benchmarks`` directory is not a package), so it is loaded here by file
+path.  These tests pin the rule semantics the committed baselines rely on
+-- hard bounds, cross-field equality, tolerance bands in both directions --
+and that malformed or vacuous rules fail loudly instead of passing as
+"0/0 checks ok".
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_GATE_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
+                          "benchmarks", "check_perf_regression.py")
+
+
+@pytest.fixture(scope="module")
+def gate():
+    spec = importlib.util.spec_from_file_location("check_perf_regression", _GATE_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+PAYLOAD = {
+    "benchmark": "demo",
+    "n_jobs": 8,
+    "hits": 8,
+    "speedup": 12.0,
+    "wall_seconds": 1.5,
+    "workloads": {"pdn": {"speedup_cold": 10.0}},
+}
+
+
+class TestRules:
+    def test_min_max_bounds(self, gate):
+        ok = gate.check_rule(PAYLOAD, "speedup", {"min": 5.0, "max": 20.0})
+        assert [record["ok"] for record in ok] == [True, True]
+        bad = gate.check_rule(PAYLOAD, "speedup", {"min": 50.0})
+        assert [record["ok"] for record in bad] == [False]
+
+    def test_equals_field(self, gate):
+        assert gate.check_rule(PAYLOAD, "hits", {"equals_field": "n_jobs"})[0]["ok"]
+        assert not gate.check_rule(PAYLOAD, "speedup", {"equals_field": "n_jobs"})[0]["ok"]
+
+    def test_tolerance_bands(self, gate):
+        lower = gate.check_rule(PAYLOAD, "wall_seconds",
+                                {"baseline": 1.0, "rtol": 1.0, "direction": "lower"})
+        assert lower[0]["ok"]  # 1.5 <= 1.0 * 2
+        higher = gate.check_rule(PAYLOAD, "speedup",
+                                 {"baseline": 40.0, "rtol": 0.5, "direction": "higher"})
+        assert not higher[0]["ok"]  # 12 < 40 * 0.5
+
+    def test_dotted_paths(self, gate):
+        record = gate.check_rule(PAYLOAD, "workloads.pdn.speedup_cold", {"min": 5.0})[0]
+        assert record["ok"]
+        missing = gate.check_rule(PAYLOAD, "workloads.tline.speedup_cold", {"min": 5.0})[0]
+        assert not missing["ok"]
+
+    def test_vacuous_rule_fails_loudly(self, gate):
+        records = gate.check_rule(PAYLOAD, "speedup",
+                                  {"rtol": 0.7, "direction": "higher"})
+        assert [record["ok"] for record in records] == [False]
+        records = gate.check_rule(PAYLOAD, "speedup", {"min": 5.0, "rtol": 0.7})
+        assert [record["ok"] for record in records] == [False]
+
+    def test_unknown_rule_keys_fail(self, gate):
+        records = gate.check_rule(PAYLOAD, "speedup", {"minimum": 5.0})
+        assert [record["ok"] for record in records] == [False]
+
+    def test_non_numeric_field_fails(self, gate):
+        records = gate.check_rule(PAYLOAD, "benchmark", {"min": 1.0})
+        assert [record["ok"] for record in records] == [False]
+
+
+class TestRun:
+    def _write(self, path, document):
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+
+    def test_directory_run_reports_and_gates(self, gate, tmp_path):
+        results = tmp_path / "results"
+        baselines = tmp_path / "baselines"
+        results.mkdir()
+        baselines.mkdir()
+        self._write(results / "BENCH_demo.json", PAYLOAD)
+        self._write(results / "BENCH_orphan.json", {"benchmark": "orphan"})
+        self._write(baselines / "demo.json",
+                    {"benchmark": "demo", "rules": {"speedup": {"min": 5.0}}})
+        report = gate.run(str(results), str(baselines))
+        assert report["ok"]
+        assert report["unchecked_exports"] == ["orphan"]
+
+    def test_missing_export_fails_unless_allowed(self, gate, tmp_path):
+        results = tmp_path / "results"
+        baselines = tmp_path / "baselines"
+        results.mkdir()
+        baselines.mkdir()
+        self._write(baselines / "demo.json",
+                    {"benchmark": "demo", "rules": {"speedup": {"min": 5.0}}})
+        assert not gate.run(str(results), str(baselines))["ok"]
+        assert gate.run(str(results), str(baselines), allow_missing=True)["ok"]
+
+    def test_committed_baselines_are_well_formed(self, gate):
+        """Every committed baseline parses and contains only enforceable rules."""
+        baseline_dir = gate.DEFAULT_BASELINE_DIR
+        names = sorted(os.listdir(baseline_dir))
+        assert names, "no committed baselines found"
+        for name in names:
+            with open(os.path.join(baseline_dir, name), encoding="utf-8") as handle:
+                baseline = json.load(handle)
+            assert baseline["rules"], f"{name}: baseline without rules"
+            for field, rule in baseline["rules"].items():
+                records = gate.check_rule({}, field, rule)
+                # against an empty payload the only acceptable failure is the
+                # missing-field record -- malformed rules fail differently
+                assert all(record["check"] == "present" for record in records), (
+                    f"{name}: rule for {field!r} is malformed: {records}"
+                )
