@@ -60,12 +60,26 @@ _RULE_KEYS = {"min", "max", "equals_field", "baseline", "rtol", "direction"}
 
 
 def resolve_field(payload: dict, path: str):
-    """Resolve a dotted path (``workloads.pdn.speedup_cold``) in an export."""
+    """Resolve a dotted path (``workloads.pdn.speedup_cold``) in an export.
+
+    Integer segments index into lists (``rows.3.error`` is the ``error``
+    field of the fourth row), which is how baselines gate the row-structured
+    exports (Table 1, the ablations) whose row order is deterministic.
+    """
     value: Any = payload
     for part in path.split("."):
-        if not isinstance(value, dict) or part not in value:
+        if isinstance(value, list):
+            try:
+                index = int(part)
+            except ValueError:
+                return None
+            if not -len(value) <= index < len(value):
+                return None
+            value = value[index]
+        elif isinstance(value, dict) and part in value:
+            value = value[part]
+        else:
             return None
-        value = value[part]
     return value
 
 

@@ -30,18 +30,55 @@ repeated jobs -- across chunks, executors and whole re-runs -- replay from
 the content-addressed fit cache instead of recomputing; per-job hit/miss
 statuses land on the records and the batch-level counters in the table
 heading and the JSON export.
+
+Batches also scale *across machines*: :mod:`repro.batch.sharding` plans a
+deterministic assignment of jobs to shards (:class:`ShardPlan`), ships each
+shard as a versioned JSON manifest, runs it through a regular engine on any
+machine, and merges the shard results back into one :class:`BatchResult`
+that is bitwise-identical to the single-process run.  The
+``python -m repro.batch.shard`` CLI drives the plan / run / merge cycle.
 """
 
-from repro.batch.engine import EXECUTORS, BatchEngine
+from repro.batch.engine import EXECUTORS, BatchEngine, contiguous_chunks
 from repro.batch.jobs import FitJob, JobRecord, run_job
-from repro.batch.results import BatchResult, numerical_differences
+from repro.batch.results import (
+    BatchResult,
+    comparable_dict,
+    comparable_json,
+    numerical_differences,
+)
+from repro.batch.sharding import (
+    ShardError,
+    ShardPlan,
+    ShardResult,
+    job_fingerprint,
+    load_manifest,
+    merge_shard_results,
+    read_shard_result,
+    run_shard,
+    write_manifests,
+    write_shard_result,
+)
 
 __all__ = [
     "EXECUTORS",
     "BatchEngine",
+    "contiguous_chunks",
     "FitJob",
     "JobRecord",
     "run_job",
     "BatchResult",
     "numerical_differences",
+    "comparable_dict",
+    "comparable_json",
+    "ShardError",
+    "ShardPlan",
+    "ShardResult",
+    "job_fingerprint",
+    "load_manifest",
+    "merge_shard_results",
+    "read_shard_result",
+    "run_shard",
+    "write_manifests",
+    "write_shard_result",
 ]

@@ -33,9 +33,23 @@ from repro.batch.results import BatchResult
 from repro.cache.fitcache import FitCache
 from repro.cache.stores import MemoryStore
 
-__all__ = ["BatchEngine", "EXECUTORS"]
+__all__ = ["BatchEngine", "EXECUTORS", "contiguous_chunks"]
 
 EXECUTORS = ("serial", "thread", "process")
+
+
+def contiguous_chunks(items: Sequence, size: int) -> list[list]:
+    """Split ``items`` into contiguous chunks of at most ``size`` elements.
+
+    The one deterministic split rule of the batch layer: the engine chunks
+    (index, job) pairs for its executors through it, and the shard planner
+    (:mod:`repro.batch.sharding`) chunks the hash-ordered job list into
+    per-machine shards through the very same function -- so "a shard" is by
+    construction nothing more than a coarser engine chunk.
+    """
+    if size < 1:
+        raise ValueError("chunk size must be >= 1")
+    return [list(items[start:start + size]) for start in range(0, len(items), size)]
 
 
 def _run_chunk(chunk: Sequence[tuple[int, FitJob]], cache=None) -> list[JobRecord]:
@@ -116,10 +130,11 @@ class BatchEngine:
         workers = max(1, self.n_workers)
         return max(1, -(-n_jobs // (4 * workers)))
 
-    def _chunks(self, jobs: Sequence[FitJob]) -> list[list[tuple[int, FitJob]]]:
+    def _chunks(
+        self, jobs: Sequence[FitJob], indices: Sequence[int]
+    ) -> list[list[tuple[int, FitJob]]]:
         size = self.resolve_chunk_size(len(jobs))
-        indexed = list(enumerate(jobs))
-        return [indexed[start:start + size] for start in range(0, len(indexed), size)]
+        return contiguous_chunks(list(zip(indices, jobs)), size)
 
     def _worker_cache(self) -> Optional[FitCache]:
         """The cache object actually shipped to executor workers.
@@ -137,16 +152,42 @@ class BatchEngine:
             return FitCache(MemoryStore(self.cache.store.max_entries))
         return self.cache
 
-    def run(self, jobs: Iterable[FitJob]) -> BatchResult:
+    def run(
+        self, jobs: Iterable[FitJob], *, indices: Optional[Sequence[int]] = None
+    ) -> BatchResult:
         """Run every job and return the assembled :class:`BatchResult`.
 
         Records come back ordered by submission index; failures are embedded
         in their records, so this method only raises on infrastructure errors
         (e.g. an unpicklable job with the process backend).
+
+        Parameters
+        ----------
+        jobs:
+            The jobs to run.
+        indices:
+            Optional explicit record indices, one per job (default:
+            ``0..n-1`` in submission order).  This is how a shard runner
+            executes a *subset* of a planned batch while keeping every
+            record at its original position, so merging shard results
+            reassembles the unsharded record order exactly (see
+            :mod:`repro.batch.sharding`).
         """
         job_list = list(jobs)
         started = time.perf_counter()
-        chunks = self._chunks(job_list)
+        if indices is None:
+            index_list = list(range(len(job_list)))
+        else:
+            index_list = [int(index) for index in indices]
+            if len(index_list) != len(job_list):
+                raise ValueError(
+                    f"got {len(index_list)} indices for {len(job_list)} jobs"
+                )
+            if any(index < 0 for index in index_list):
+                raise ValueError("job indices must be non-negative")
+            if len(set(index_list)) != len(index_list):
+                raise ValueError("job indices must be unique")
+        chunks = self._chunks(job_list, index_list)
         cache = self._worker_cache()
         if self.executor == "serial":
             chunk_records = [_run_chunk(chunk, cache) for chunk in chunks]

@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.batch.jobs import JobRecord
 
-__all__ = ["BatchResult", "numerical_differences"]
+__all__ = ["BatchResult", "numerical_differences", "comparable_dict", "comparable_json"]
 
 SCHEMA_VERSION = 2
 
@@ -69,6 +69,38 @@ def numerical_differences(reference: "BatchResult", other: "BatchResult") -> lis
             if not (math.isnan(err_a) and math.isnan(err_b)) and err_a != err_b:
                 diffs.append(f"{a.label}: {field} {err_a!r} vs {err_b!r}")
     return diffs
+
+
+def comparable_dict(result: "BatchResult") -> dict[str, Any]:
+    """The :meth:`BatchResult.to_dict` export with execution metadata normalised.
+
+    Two equivalent batch runs can never agree on wall-clock times, and a
+    merged sharded run legitimately reports a different executor / worker
+    count / chunk size than the single-process reference -- those fields
+    describe *how* the batch ran, not *what* it computed.  This helper zeroes
+    exactly that volatile envelope (``executor``, ``n_workers``,
+    ``chunk_size``, ``wall_seconds``, ``total_fit_seconds`` and the per-job
+    ``elapsed_seconds``) and keeps everything else byte-comparable: record
+    identity and order, model orders, error values, cache hit/miss statuses
+    and counters.  The sharding differential tests and the CI sharded-smoke
+    step compare runs through :func:`comparable_json`, so "the merged JSON
+    export is identical to the unsharded one" is a single string equality.
+    """
+    document = result.to_dict()
+    document["executor"] = ""
+    document["n_workers"] = 0
+    document["chunk_size"] = 0
+    document["wall_seconds"] = 0.0
+    document["total_fit_seconds"] = 0.0
+    for job in document["jobs"]:
+        job["elapsed_seconds"] = 0.0
+    return document
+
+
+def comparable_json(result: "BatchResult") -> str:
+    """The normalised export of :func:`comparable_dict` as canonical JSON."""
+    return json.dumps(_json_safe(comparable_dict(result)), indent=2, sort_keys=True,
+                      allow_nan=False)
 
 
 @dataclass(frozen=True)

@@ -34,6 +34,7 @@ Set ``REPRO_FIT_CACHE=off`` to disable all caching without code changes.
 """
 
 from repro.cache.fingerprint import (
+    combined_fingerprint,
     dataset_fingerprint,
     evaluation_key,
     fit_key,
@@ -53,6 +54,7 @@ __all__ = [
     "options_fingerprint",
     "fit_key",
     "evaluation_key",
+    "combined_fingerprint",
     "CacheStore",
     "MemoryStore",
     "DiskStore",

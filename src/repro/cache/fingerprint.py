@@ -27,7 +27,13 @@ import numpy as np
 from repro.core.options import InterpolationOptions
 from repro.data.dataset import FrequencyData
 
-__all__ = ["dataset_fingerprint", "options_fingerprint", "fit_key", "evaluation_key"]
+__all__ = [
+    "dataset_fingerprint",
+    "options_fingerprint",
+    "fit_key",
+    "evaluation_key",
+    "combined_fingerprint",
+]
 
 #: Bump when the hashed representation changes so old digests cannot alias.
 _FINGERPRINT_VERSION = 1
@@ -101,6 +107,27 @@ def fit_key(data: FrequencyData, method: str, options: Optional[InterpolationOpt
     digest.update(dataset_fingerprint(data).encode())
     digest.update(b"|")
     digest.update(options_fingerprint(method, options).encode())
+    return digest.hexdigest()
+
+
+def combined_fingerprint(kind: str, parts) -> str:
+    """SHA-256 digest of a namespaced, ordered sequence of textual parts.
+
+    The generic combinator behind every *derived* fingerprint that is not a
+    dataset or an options hash: the shard planner hashes job identities and
+    whole shard plans through it (:mod:`repro.batch.sharding`).  ``kind``
+    namespaces the digest (two different kinds can never collide even on
+    identical parts) and shares the module-wide :data:`_FINGERPRINT_VERSION`,
+    so bumping the fingerprint revision invalidates derived digests along
+    with the primary ones.  Parts are length-prefixed, so free-form strings
+    (labels, tag encodings) can never alias across part boundaries.
+    """
+    digest = hashlib.sha256()
+    digest.update(f"repro-{kind}-v{_FINGERPRINT_VERSION}|".encode())
+    for part in parts:
+        if not isinstance(part, str):
+            raise TypeError(f"fingerprint parts must be strings, got {type(part).__name__}")
+        digest.update(f"{len(part)}:{part}|".encode())
     return digest.hexdigest()
 
 

@@ -21,10 +21,16 @@ import numpy as np
 
 from repro.utils.rng import RandomState
 
-__all__ = ["InterpolationOptions", "MftiOptions", "VftiOptions", "RecursiveOptions"]
+__all__ = [
+    "InterpolationOptions",
+    "MftiOptions",
+    "VftiOptions",
+    "RecursiveOptions",
+    "canonical_token",
+]
 
 
-def _canonical_token(value) -> str:
+def canonical_token(value) -> str:
     """Encode one option value into a stable textual token.
 
     The encoding is exact (floats via ``float.hex`` so distinct values never
@@ -32,6 +38,13 @@ def _canonical_token(value) -> str:
     (so ``1`` and ``True`` and ``"1"`` stay distinct).  Live random generators
     are rejected: their hidden state cannot be captured, so two "equal"
     options objects could still behave differently.
+
+    Public because every layer that needs a stable textual identity for
+    small scalar values reuses this one encoding: the options
+    :meth:`~InterpolationOptions.canonical_items` serialization, the cache
+    fingerprints built on it, and the shard planner's job identities
+    (:func:`repro.batch.sharding.job_fingerprint`), which also encode job
+    labels and tag values through it.
     """
     if value is None:
         return "none"
@@ -49,7 +62,7 @@ def _canonical_token(value) -> str:
         # can never alias neighbouring tokens or fields in the hash stream
         return f"str:{len(value)}:{value}"
     if isinstance(value, (tuple, list)) or (isinstance(value, np.ndarray) and value.ndim == 1):
-        return "seq:[" + ",".join(_canonical_token(entry) for entry in value) + "]"
+        return "seq:[" + ",".join(canonical_token(entry) for entry in value) + "]"
     raise TypeError(
         f"option value {value!r} of type {type(value).__name__} has no canonical "
         "serialization (live numpy.random.Generator seeds are deliberately rejected)"
@@ -121,7 +134,7 @@ class InterpolationOptions:
             be captured).
         """
         return tuple(
-            (field.name, _canonical_token(getattr(self, field.name)))
+            (field.name, canonical_token(getattr(self, field.name)))
             for field in sorted(dataclasses.fields(self), key=lambda f: f.name)
         )
 

@@ -40,7 +40,13 @@ from repro.experiments.ablations import (
     weighting_ablation,
 )
 from repro.experiments.reporting import format_series, format_table
-from repro.experiments.workloads import mixed_batch_jobs
+from repro.experiments.workloads import (
+    WORKLOADS,
+    mixed_batch_jobs,
+    monte_carlo_jobs,
+    port_sweep_jobs,
+    workload_jobs,
+)
 
 __all__ = [
     "Example1Config",
@@ -62,4 +68,8 @@ __all__ = [
     "format_table",
     "format_series",
     "mixed_batch_jobs",
+    "monte_carlo_jobs",
+    "port_sweep_jobs",
+    "WORKLOADS",
+    "workload_jobs",
 ]

@@ -1,13 +1,22 @@
-"""Shared batch-workload builders.
+"""Shared batch-workload builders (the *named grids* of the batch layer).
 
 The batch layer's acceptance workload -- a mixed MFTI/VFTI job grid over the
 noisy 14-port PDN of Example 2 and a lossy lumped transmission line -- is used
 both by ``benchmarks/bench_batch_engine.py`` and by ``examples/batch_sweep.py``.
 Building it here keeps the two in sync by construction (the same pattern as
 :func:`repro.experiments.example2.loewner_table1_jobs` for Table 1).
+
+Every builder in :data:`WORKLOADS` is a **shardable entry point**: it is
+deterministic (same kwargs, bitwise-identical datasets -- all randomness is
+seeded), so a shard manifest (:mod:`repro.batch.sharding`) only needs to
+record the builder's name and kwargs for a worker machine to rebuild exactly
+the planned jobs, verified by content fingerprint.  Keep new grids seeded
+and JSON-safe in their kwargs to stay shardable.
 """
 
 from __future__ import annotations
+
+from typing import Callable
 
 from repro.batch.jobs import FitJob
 from repro.circuits.mna import netlist_to_descriptor
@@ -17,7 +26,8 @@ from repro.core.options import MftiOptions, RecursiveOptions, VftiOptions
 from repro.data import add_measurement_noise, linear_frequencies, sample_scattering
 from repro.experiments.example2 import Example2Config, build_pdn_datasets
 
-__all__ = ["mixed_batch_jobs", "monte_carlo_jobs"]
+__all__ = ["mixed_batch_jobs", "monte_carlo_jobs", "port_sweep_jobs",
+           "WORKLOADS", "workload_jobs"]
 
 
 def mixed_batch_jobs(
@@ -162,3 +172,97 @@ def monte_carlo_jobs(
                 reference=reference,
             ))
     return jobs
+
+
+def port_sweep_jobs(
+    *,
+    port_counts: tuple[int, ...] = (2, 4, 8),
+    block_sizes: tuple[int, ...] = (1, 2, 3),
+    order: int = 24,
+    n_samples: int = 30,
+    n_validation: int = 60,
+    f_min_hz: float = 1e2,
+    f_max_hz: float = 1e6,
+    noise_level: float = 1e-6,
+    base_seed: int = 400,
+) -> list[FitJob]:
+    """Named port-sweep grid: vary the port count and the direction count.
+
+    The ROADMAP's second realistic named grid (after the Monte-Carlo study):
+    how do accuracy, model order and cost move as the number of ports ``p``
+    grows and as the tangential block size ``t`` (the per-sample *direction
+    count*, the paper's central knob) sweeps from the VFTI information
+    content (``t = 1``) towards full matrix interpolation?  For every port
+    count one seeded random stable system is drawn
+    (``seed = base_seed + p``), lightly noised samples are fitted with VFTI,
+    one MFTI job per block size in ``block_sizes`` (clamped to ``p`` and
+    de-duplicated, like :func:`mixed_batch_jobs`), and one full-information
+    MFTI job (``block_size=None``); every job carries a clean dense
+    validation sweep.
+
+    Tags: ``study="port-sweep"``, ``n_ports``, ``directions`` (the effective
+    ``t``; ``"full"`` for the unrestricted job) and ``method``, so
+    :meth:`~repro.batch.results.BatchResult.with_tag` slices the sweep along
+    either axis.  Deterministic by construction (seeded system and noise), so
+    the grid is shardable and cache-stable across rebuilds.
+    """
+    from repro.systems.random_systems import random_stable_system
+
+    if not port_counts:
+        raise ValueError("port_counts must name at least one port count")
+    if any(p < 1 for p in port_counts):
+        raise ValueError("port counts must be >= 1")
+    if not block_sizes:
+        raise ValueError("block_sizes must name at least one direction count")
+
+    jobs: list[FitJob] = []
+    for n_ports in port_counts:
+        seed = base_seed + n_ports
+        system = random_stable_system(order=order, n_ports=n_ports,
+                                      feedthrough=0.1, seed=seed)
+        freqs = linear_frequencies(f_min_hz, f_max_hz, n_samples)
+        data = add_measurement_noise(
+            sample_scattering(system, freqs, label=f"port-sweep p={n_ports}"),
+            relative_level=noise_level, seed=seed)
+        reference = sample_scattering(
+            system, linear_frequencies(f_min_hz, f_max_hz, n_validation),
+            label=f"port-sweep p={n_ports} validation")
+
+        common = {"study": "port-sweep", "n_ports": n_ports, "seed": seed}
+        jobs.append(FitJob(data, method="vfti", options=VftiOptions(),
+                           label=f"ports{n_ports}/vfti",
+                           tags={**common, "method": "vfti", "directions": 1},
+                           reference=reference))
+        blocks = list(dict.fromkeys(min(block, n_ports) for block in block_sizes))
+        for block in blocks:
+            jobs.append(FitJob(data, method="mfti",
+                               options=MftiOptions(block_size=block),
+                               label=f"ports{n_ports}/mfti-t{block}",
+                               tags={**common, "method": "mfti", "directions": block},
+                               reference=reference))
+        jobs.append(FitJob(data, method="mfti", options=MftiOptions(block_size=None),
+                           label=f"ports{n_ports}/mfti-full",
+                           tags={**common, "method": "mfti", "directions": "full"},
+                           reference=reference))
+    return jobs
+
+
+#: The shardable named grids: every entry is deterministic for fixed kwargs,
+#: which is what lets a shard manifest reference jobs by (name, kwargs) and a
+#: worker machine rebuild them bit-exactly (``python -m repro.batch.shard``).
+WORKLOADS: dict[str, Callable[..., list[FitJob]]] = {
+    "mixed_batch_jobs": mixed_batch_jobs,
+    "monte_carlo_jobs": monte_carlo_jobs,
+    "port_sweep_jobs": port_sweep_jobs,
+}
+
+
+def workload_jobs(name: str, **kwargs) -> list[FitJob]:
+    """Build the named workload grid (the CLI's entry point into the registry)."""
+    try:
+        builder = WORKLOADS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; known grids: {', '.join(sorted(WORKLOADS))}"
+        ) from None
+    return builder(**kwargs)

@@ -228,6 +228,88 @@ class TestMonteCarloJobs:
             monte_carlo_jobs(**{**self.KWARGS, "methods": ("no-such-method",)})
 
 
+class TestPortSweepJobs:
+    """The port-sweep named grid (vary n_ports / direction counts)."""
+
+    #: Tiny sweep: 2 port counts x (vfti + 2 mfti + full) = 8 cheap jobs.
+    KWARGS = dict(port_counts=(2, 4), block_sizes=(1, 2), order=12,
+                  n_samples=16, n_validation=24)
+
+    def test_grid_shape_and_tags(self):
+        from repro.experiments.workloads import port_sweep_jobs
+
+        jobs = port_sweep_jobs(**self.KWARGS)
+        assert len(jobs) == 8  # per port count: vfti + t=1 + t=2 + full
+        by_ports = {}
+        for job in jobs:
+            assert job.tags["study"] == "port-sweep"
+            assert job.reference is not None
+            by_ports.setdefault(job.tags["n_ports"], []).append(job)
+        assert sorted(by_ports) == [2, 4]
+        for n_ports, members in by_ports.items():
+            directions = [job.tags["directions"] for job in members]
+            assert directions == [1, 1, 2, "full"]
+            # every job of one port count shares one (noisy) dataset
+            assert len({job.data.fingerprint() for job in members}) == 1
+
+    def test_block_sizes_clamped_and_deduplicated(self):
+        from repro.experiments.workloads import port_sweep_jobs
+
+        jobs = port_sweep_jobs(**{**self.KWARGS, "port_counts": (2,),
+                                  "block_sizes": (1, 2, 3, 8)})
+        labels = [job.label for job in jobs]
+        # t=3 and t=8 clamp to the 2-port limit and collapse into t=2
+        assert labels == ["ports2/vfti", "ports2/mfti-t1", "ports2/mfti-t2",
+                         "ports2/mfti-full"]
+
+    def test_deterministic_across_rebuilds(self):
+        """Seeded system + noise: rebuilt grids are content-identical, and
+        distinct port counts draw distinct systems -- the properties that
+        make the grid shardable and cache-stable."""
+        from repro.batch import ShardPlan
+        from repro.cache import dataset_fingerprint
+        from repro.experiments.workloads import port_sweep_jobs
+
+        first = [dataset_fingerprint(job.data) for job in port_sweep_jobs(**self.KWARGS)]
+        second = [dataset_fingerprint(job.data) for job in port_sweep_jobs(**self.KWARGS)]
+        assert first == second
+        assert len(set(first)) == 2  # one dataset per port count
+        assert (ShardPlan.from_jobs(port_sweep_jobs(**self.KWARGS), 2)
+                == ShardPlan.from_jobs(port_sweep_jobs(**self.KWARGS), 2))
+
+    def test_jobs_run_clean_and_full_information_wins(self):
+        from repro.batch import BatchEngine
+        from repro.experiments.workloads import port_sweep_jobs
+
+        result = BatchEngine().run(port_sweep_jobs(**self.KWARGS))
+        assert result.n_failed == 0, result.failures
+        for records in (result.with_tag("n_ports", 2), result.with_tag("n_ports", 4)):
+            by_directions = {record.tags["directions"]: record for record in records}
+            # more directions per sample never hurt on lightly-noised data
+            assert (by_directions["full"].error_vs_reference
+                    <= by_directions[1].error_vs_reference * 1.5)
+
+    def test_registry_exposes_all_named_grids(self):
+        from repro.experiments.workloads import WORKLOADS, workload_jobs
+
+        assert set(WORKLOADS) == {"mixed_batch_jobs", "monte_carlo_jobs",
+                                  "port_sweep_jobs"}
+        jobs = workload_jobs("port_sweep_jobs", **self.KWARGS)
+        assert len(jobs) == 8
+        with pytest.raises(ValueError, match="unknown workload"):
+            workload_jobs("no-such-grid")
+
+    def test_validates_arguments(self):
+        from repro.experiments.workloads import port_sweep_jobs
+
+        with pytest.raises(ValueError):
+            port_sweep_jobs(port_counts=())
+        with pytest.raises(ValueError):
+            port_sweep_jobs(port_counts=(0,))
+        with pytest.raises(ValueError):
+            port_sweep_jobs(block_sizes=())
+
+
 class TestReporting:
     def test_format_table_alignment(self):
         text = format_table(["name", "value"], [["a", 1.0], ["bb", 0.5]], title="demo")

@@ -63,6 +63,19 @@ class TestRules:
         missing = gate.check_rule(PAYLOAD, "workloads.tline.speedup_cold", {"min": 5.0})[0]
         assert not missing["ok"]
 
+    def test_list_index_paths(self, gate):
+        """Integer path segments index into lists (row-structured exports)."""
+        payload = {"rows": [{"error": 0.5}, {"error": 0.01, "nested": [3.0]}]}
+        assert gate.resolve_field(payload, "rows.1.error") == 0.01
+        assert gate.resolve_field(payload, "rows.1.nested.0") == 3.0
+        assert gate.resolve_field(payload, "rows.-1.error") == 0.01
+        assert gate.resolve_field(payload, "rows.2.error") is None
+        assert gate.resolve_field(payload, "rows.notanint") is None
+        ok = gate.check_rule(payload, "rows.0.error", {"min": 0.1})[0]
+        assert ok["ok"]
+        out_of_range = gate.check_rule(payload, "rows.9.error", {"min": 0.1})[0]
+        assert not out_of_range["ok"] and out_of_range["check"] == "present"
+
     def test_vacuous_rule_fails_loudly(self, gate):
         records = gate.check_rule(PAYLOAD, "speedup",
                                   {"rtol": 0.7, "direction": "higher"})
@@ -107,6 +120,23 @@ class TestRun:
         assert not gate.run(str(results), str(baselines))["ok"]
         assert gate.run(str(results), str(baselines), allow_missing=True)["ok"]
 
+    def test_merged_artifact_baselines_covered_by_ci_benches(self, gate):
+        """Every committed baseline names a benchmark CI actually exports.
+
+        The CI perf-gate step fails when a baseline has no matching
+        ``BENCH_*.json``, so each baseline must correspond to a benchmark
+        module run in the bench-smoke job (bench_<name>.py exists).
+        """
+        bench_dir = os.path.dirname(_GATE_PATH)
+        for name in sorted(os.listdir(gate.DEFAULT_BASELINE_DIR)):
+            with open(os.path.join(gate.DEFAULT_BASELINE_DIR, name),
+                      encoding="utf-8") as handle:
+                benchmark = json.load(handle)["benchmark"]
+            module = os.path.join(bench_dir, f"bench_{benchmark}.py")
+            assert os.path.exists(module), (
+                f"baseline {name} gates {benchmark!r} but {module} does not exist"
+            )
+
     def test_committed_baselines_are_well_formed(self, gate):
         """Every committed baseline parses and contains only enforceable rules."""
         baseline_dir = gate.DEFAULT_BASELINE_DIR
@@ -123,3 +153,98 @@ class TestRun:
                 assert all(record["check"] == "present" for record in records), (
                     f"{name}: rule for {field!r} is malformed: {records}"
                 )
+
+
+def _row_export(n_rows: int, **overrides) -> dict:
+    """A rows-shaped export whose entries default to healthy values."""
+    rows = [{"error": 1e-3, "order": 100, "extra": 5.0,
+             "err_measurement": 1e-3} for _ in range(n_rows)]
+    for path, value in overrides.items():
+        index, field = path.split(".")
+        rows[int(index)][field] = value
+    return {"rows": rows}
+
+
+class TestCommittedBaselineRules:
+    """One unit test per committed rule file: a representative healthy export
+    passes every rule, and a characteristic regression trips at least one."""
+
+    def _load(self, gate, name):
+        with open(os.path.join(gate.DEFAULT_BASELINE_DIR, name),
+                  encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def _verdict(self, gate, baseline, payload) -> bool:
+        records = gate.check_export(payload, baseline)
+        assert records, "baseline produced no checks"
+        return all(record["ok"] for record in records)
+
+    def test_table1_rules(self, gate):
+        baseline = self._load(gate, "table1.json")
+        healthy = _row_export(12, **{
+            "0.err_measurement": 0.056, "1.err_measurement": 0.018,
+            "2.err_measurement": 0.055, "5.err_measurement": 0.30,
+            "6.err_measurement": 0.054, "7.err_measurement": 0.010,
+            "8.err_measurement": 0.077, "11.err_measurement": 0.19,
+            "1.order": 117,
+        })
+        healthy["batch"] = {"n_workers": 1}
+        assert self._verdict(gate, baseline, healthy)
+        regressed = dict(healthy)
+        regressed["rows"] = [dict(row) for row in healthy["rows"]]
+        regressed["rows"][1]["err_measurement"] = 0.5  # MFTI t=3 went bad
+        assert not self._verdict(gate, baseline, regressed)
+
+    def test_ablation_weighting_rules(self, gate):
+        baseline = self._load(gate, "ablation_weighting.json")
+        healthy = _row_export(6, **{"0.error": 0.27, "0.order": 64,
+                                    "2.error": 0.016, "5.error": 0.0017,
+                                    "5.order": 213})
+        assert self._verdict(gate, baseline, healthy)
+        regressed = _row_export(6, **{"0.error": 0.27, "0.order": 64,
+                                      "2.error": 0.016, "5.error": 0.5,
+                                      "5.order": 213})
+        assert not self._verdict(gate, baseline, regressed)
+
+    def test_ablation_svd_rules(self, gate):
+        baseline = self._load(gate, "ablation_svd.json")
+        healthy = _row_export(4, **{f"{i}.error": 1e-12 for i in range(4)},
+                              **{"0.order": 96, "3.order": 96})
+        assert self._verdict(gate, baseline, healthy)
+        regressed = _row_export(4, **{f"{i}.error": 1e-12 for i in (0, 1, 3)},
+                                **{"0.order": 96, "3.order": 96, "2.error": 1e-3})
+        assert not self._verdict(gate, baseline, regressed)
+
+    def test_ablation_recursive_rules(self, gate):
+        baseline = self._load(gate, "ablation_recursive.json")
+        healthy = _row_export(9, **{"2.error": 0.033, "2.extra": 8.0,
+                                    "5.error": 0.033, "8.error": 0.055})
+        assert self._verdict(gate, baseline, healthy)
+        # the refinement loop stopped iterating: accuracy gate must trip
+        regressed = _row_export(9, **{"2.error": 0.033, "2.extra": 1.0,
+                                      "5.error": 0.033, "8.error": 0.055})
+        assert not self._verdict(gate, baseline, regressed)
+
+    def test_shard_merge_rules(self, gate):
+        baseline = self._load(gate, "shard_merge.json")
+        healthy = {"n_jobs": 8, "n_diffs": 0, "json_equal": 1,
+                   "merged_n_ok": 8, "merged_n_failed": 0,
+                   "merged_cache_hits": 0, "merged_cache_misses": 8}
+        assert self._verdict(gate, baseline, healthy)
+        for field, bad in (("n_diffs", 2), ("json_equal", 0),
+                           ("merged_cache_misses", 7), ("merged_n_failed", 1)):
+            assert not self._verdict(gate, baseline, {**healthy, field: bad}), field
+
+    def test_fit_cache_and_eval_kernel_rules_still_pass(self, gate):
+        """The pre-existing baselines keep gating their healthy exports."""
+        fit_cache = self._load(gate, "fit_cache.json")
+        assert self._verdict(gate, fit_cache, {
+            "n_jobs": 8, "speedup_warm_vs_cold": 40.0,
+            "warm_cache_misses": 0, "warm_cache_hits": 8,
+        })
+        eval_kernel = self._load(gate, "eval_kernel.json")
+        workload = {"speedup_cold": 15.0, "speedup_warm": 90.0,
+                    "agreement_rel": 1e-9}
+        assert self._verdict(gate, eval_kernel, {
+            "workloads": {"pdn": dict(workload), "tline": dict(workload)},
+        })
