@@ -9,6 +9,10 @@ Layout of the subpackage (bottom-up):
   (eqs. 6-9 of the paper).
 * :mod:`repro.core.loewner` -- block-format Loewner and shifted Loewner
   matrices (eqs. 11-12) and their Sylvester-equation checks (eq. 13).
+* :mod:`repro.core.assembly` -- the batched fit-assembly layer: vectorized
+  vector-fitting kernels, the shared direction plumbing of the MFTI and
+  recursive front-ends, and the incremental (bit-stable) Loewner growth
+  used by Algorithm 2.
 * :mod:`repro.core.realization` -- the direct realization of Lemma 3.1, the
   real transform of Lemma 3.2 and the SVD realization of Lemma 3.4.
 * :mod:`repro.core.sampling` -- the minimal-sampling estimates of Theorem 3.5.
@@ -21,12 +25,27 @@ Layout of the subpackage (bottom-up):
 """
 
 from repro.core._pipeline import available_methods, frontend_spec, run_fit
+from repro.core.assembly import (
+    DirectionPlan,
+    IncrementalLoewner,
+    PoleGrouping,
+    embed_directions,
+    interleaved_indices,
+    partial_fraction_basis,
+    prepare_block_directions,
+    vf_scaling_blocks,
+)
 from repro.core.directions import (
     identity_directions,
     orthonormal_directions,
     vfti_directions,
 )
-from repro.core.loewner import LoewnerPencil, build_loewner_pencil, sylvester_residuals
+from repro.core.loewner import (
+    LoewnerPencil,
+    assemble_pencil_from_products,
+    build_loewner_pencil,
+    sylvester_residuals,
+)
 from repro.core.mfti import mfti
 from repro.core.options import InterpolationOptions, MftiOptions, RecursiveOptions, VftiOptions
 from repro.core.realization import (
@@ -42,6 +61,15 @@ from repro.core.tangential import TangentialData, build_tangential_data
 from repro.core.vfti import vfti
 
 __all__ = [
+    "DirectionPlan",
+    "IncrementalLoewner",
+    "PoleGrouping",
+    "assemble_pencil_from_products",
+    "embed_directions",
+    "interleaved_indices",
+    "partial_fraction_basis",
+    "prepare_block_directions",
+    "vf_scaling_blocks",
     "identity_directions",
     "orthonormal_directions",
     "vfti_directions",

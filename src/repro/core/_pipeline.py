@@ -148,6 +148,7 @@ def realize_from_tangential(
     started_at: float | None = None,
     metadata: dict | None = None,
     singular_value_profiles: tuple[str, ...] | None = None,
+    complex_pencil=None,
 ) -> MacromodelResult:
     """Run the Loewner realization pipeline on prepared tangential data.
 
@@ -172,9 +173,16 @@ def realize_from_tangential(
         (default: all three).  Front-ends that realize many intermediate
         pencils (the recursive algorithm) restrict this to ``("pencil",)``
         to skip two full SVDs per iteration.
+    complex_pencil:
+        Optional pre-assembled complex :class:`~repro.core.loewner.
+        LoewnerPencil` for ``tangential``.  The recursive front-end passes
+        the incrementally grown pencil here (which is bitwise identical to
+        the from-scratch build, so the realization is unaffected); by
+        default the pencil is assembled from ``tangential``.
     """
     start = time.perf_counter() if started_at is None else started_at
-    complex_pencil = build_loewner_pencil(tangential)
+    if complex_pencil is None:
+        complex_pencil = build_loewner_pencil(tangential)
     # singular-value profiles (Fig. 1) are always reported from the complex
     # pencil; the real transform is unitary so the profiles are identical
     singular_values = complex_pencil.singular_values(

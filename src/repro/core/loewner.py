@@ -25,9 +25,15 @@ from typing import Optional
 import numpy as np
 
 from repro.core.tangential import TangentialData
-from repro.utils.linalg import economic_svd
+from repro.utils.linalg import economic_svd, rowcol_product
 
-__all__ = ["LoewnerPencil", "build_loewner_pencil", "sylvester_residuals"]
+__all__ = [
+    "LoewnerPencil",
+    "assemble_pencil_from_products",
+    "build_loewner_pencil",
+    "divided_difference_blocks",
+    "sylvester_residuals",
+]
 
 
 @dataclass(frozen=True)
@@ -171,8 +177,18 @@ class LoewnerPencil:
         )
 
 
-def build_loewner_pencil(data: TangentialData) -> LoewnerPencil:
-    """Assemble the (shifted) Loewner matrices from tangential data (eqs. 11-12).
+def divided_difference_blocks(
+    vr: np.ndarray,
+    lw: np.ndarray,
+    mu: np.ndarray,
+    lam: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Elementwise divided differences of eqs. (11)-(12) for one block.
+
+    Every entry depends only on its own ``(mu_a, lambda_b, vr[a, b],
+    lw[a, b])``, so computing the matrices block-by-block -- which is what
+    the incremental assembly does for newly selected rows/columns -- yields
+    bitwise the same entries as one full-matrix evaluation.
 
     Raises
     ------
@@ -180,31 +196,62 @@ def build_loewner_pencil(data: TangentialData) -> LoewnerPencil:
         If a left and a right sample point coincide (the divided differences
         would blow up; the framework requires disjoint point sets).
     """
-    lam = data.lambda_points
-    mu = data.mu_points
-    r = data.R
-    w = data.W
-    ell = data.L
-    v = data.V
-
-    vr = v @ r          # (k_left, k_right)
-    lw = ell @ w        # (k_left, k_right)
     denom = mu[:, np.newaxis] - lam[np.newaxis, :]
     if np.any(np.abs(denom) < 1e-300):
         raise ValueError("left and right sample points must be disjoint")
     loewner = (vr - lw) / denom
     shifted = (mu[:, np.newaxis] * vr - lw * lam[np.newaxis, :]) / denom
+    return loewner, shifted
+
+
+def assemble_pencil_from_products(
+    data: TangentialData,
+    vr: np.ndarray,
+    lw: np.ndarray,
+) -> LoewnerPencil:
+    """Finalise a pencil from precomputed ``V @ R`` / ``L @ W`` products.
+
+    The divided-difference step (eqs. 11-12) is purely elementwise, so a
+    caller that already owns the two products shares this one finalisation
+    with :func:`build_loewner_pencil`, which keeps alternative assembly
+    orders (notably the incremental growth of
+    :class:`~repro.core.assembly.IncrementalLoewner`) bitwise identical to
+    the from-scratch build by construction.
+    """
+    lam = data.lambda_points
+    mu = data.mu_points
+    loewner, shifted = divided_difference_blocks(vr, lw, mu, lam)
     return LoewnerPencil(
         loewner=loewner,
         shifted_loewner=shifted,
-        W=w,
-        V=v,
+        W=data.W,
+        V=data.V,
         lambda_points=lam,
         mu_points=mu,
         right_block_sizes=data.right_block_sizes,
         left_block_sizes=data.left_block_sizes,
         is_real=False,
     )
+
+
+def build_loewner_pencil(data: TangentialData) -> LoewnerPencil:
+    """Assemble the (shifted) Loewner matrices from tangential data (eqs. 11-12).
+
+    The ``V @ R`` and ``L @ W`` products go through the slicing-stable
+    :func:`~repro.utils.linalg.rowcol_product` kernel so that building the
+    pencil of a sample subset yields bitwise the same entries as slicing a
+    larger pencil -- the contract the incremental recursive assembly relies
+    on (and the property tests enforce).
+
+    Raises
+    ------
+    ValueError
+        If a left and a right sample point coincide (the divided differences
+        would blow up; the framework requires disjoint point sets).
+    """
+    vr = rowcol_product(data.V, data.R)      # (k_left, k_right)
+    lw = rowcol_product(data.L, data.W)      # (k_left, k_right)
+    return assemble_pencil_from_products(data, vr, lw)
 
 
 def sylvester_residuals(pencil: LoewnerPencil, data: TangentialData) -> tuple[float, float]:

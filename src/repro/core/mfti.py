@@ -19,75 +19,22 @@ tangential columns on the samples that matter.
 from __future__ import annotations
 
 import time
-from typing import Optional, Sequence, Union
-
-import numpy as np
+from typing import Optional
 
 from repro.core._pipeline import realize_from_tangential, register_frontend
-from repro.core.directions import identity_directions, orthonormal_directions
+from repro.core.assembly import (
+    generate_direction_sets,
+    prepare_block_directions,
+    resolve_block_sizes,
+)
 from repro.core.options import MftiOptions
 from repro.core.results import MacromodelResult
 from repro.core.tangential import build_tangential_data
 from repro.data.dataset import FrequencyData
-from repro.utils.rng import ensure_rng
 
+# resolve_block_sizes / generate_direction_sets are re-exported: the
+# implementations moved into the shared assembly layer (repro.core.assembly)
 __all__ = ["mfti", "resolve_block_sizes", "generate_direction_sets"]
-
-
-def resolve_block_sizes(
-    block_size: Union[None, int, Sequence[int]],
-    n_samples: int,
-    max_block: int,
-) -> list[int]:
-    """Normalise the ``block_size`` option into one ``t_i`` per sampled frequency.
-
-    ``None`` means "use everything" (``t_i = min(m, p)``), an integer applies
-    uniformly, and a sequence is validated and used as given (this is the
-    paper's per-sample weighting for ill-conditioned data).
-    """
-    if block_size is None:
-        return [max_block] * n_samples
-    if isinstance(block_size, (int, np.integer)):
-        t = int(block_size)
-        if not 1 <= t <= max_block:
-            raise ValueError(f"block_size must lie in [1, {max_block}], got {t}")
-        return [t] * n_samples
-    sizes = [int(t) for t in block_size]
-    if len(sizes) != n_samples:
-        raise ValueError(
-            f"block_size sequence must have one entry per sample ({n_samples}), got {len(sizes)}"
-        )
-    for t in sizes:
-        if not 1 <= t <= max_block:
-            raise ValueError(f"every block size must lie in [1, {max_block}], got {t}")
-    return sizes
-
-
-def generate_direction_sets(
-    options: MftiOptions,
-    n_ports: int,
-    right_sizes: Sequence[int],
-    left_sizes: Sequence[int],
-):
-    """Generate the per-sample right/left direction matrices requested by ``options``."""
-    if options.direction_kind == "identity":
-        right = [identity_directions(n_ports, t, 1, offset_stride=False)[0] for t in right_sizes]
-        left = [identity_directions(n_ports, t, 1, offset_stride=False)[0] for t in left_sizes]
-        # rotate the starting column from sample to sample so every port is probed
-        eye = np.eye(n_ports)
-        right = [
-            eye[:, [(i * t + j) % n_ports for j in range(t)]]
-            for i, t in enumerate(right_sizes)
-        ]
-        left = [
-            eye[:, [(i * t + j) % n_ports for j in range(t)]]
-            for i, t in enumerate(left_sizes)
-        ]
-        return right, left
-    rng = ensure_rng(options.direction_seed)
-    right = [orthonormal_directions(n_ports, t, 1, seed=rng)[0] for t in right_sizes]
-    left = [orthonormal_directions(n_ports, t, 1, seed=rng)[0] for t in left_sizes]
-    return right, left
 
 
 @register_frontend("mfti", options_type=MftiOptions)
@@ -133,28 +80,14 @@ def mfti(
     k = data.n_samples
     if k < 2:
         raise ValueError("MFTI needs at least two sampled frequencies")
-    n_inputs = data.n_inputs
-    n_outputs = data.n_outputs
-    max_block = min(n_inputs, n_outputs)
 
-    per_sample_sizes = resolve_block_sizes(opts.block_size, k, max_block)
-    right_indices = list(range(0, k, 2))
-    left_indices = list(range(1, k, 2))
-    right_sizes = [per_sample_sizes[i] for i in right_indices]
-    left_sizes = [per_sample_sizes[i] for i in left_indices]
-
-    right_dirs, left_dirs = generate_direction_sets(opts, max_block, right_sizes, left_sizes)
-    # direction matrices are generated in the min(m, p)-dimensional port space;
-    # embed into the input/output spaces when the system is rectangular
-    right_dirs = [_embed(d, n_inputs) for d in right_dirs]
-    left_dirs = [_embed(d, n_outputs) for d in left_dirs]
-
+    plan = prepare_block_directions(opts, k, data.n_inputs, data.n_outputs)
     tangential = build_tangential_data(
         data,
-        right_directions=right_dirs,
-        left_directions=left_dirs,
-        right_indices=right_indices,
-        left_indices=left_indices,
+        right_directions=plan.right_directions,
+        left_directions=plan.left_directions,
+        right_indices=plan.right_indices,
+        left_indices=plan.left_indices,
         include_conjugates=opts.include_conjugates,
     )
     return realize_from_tangential(
@@ -163,15 +96,5 @@ def mfti(
         method="mfti",
         n_samples_used=k,
         started_at=started,
-        metadata={"block_sizes": tuple(per_sample_sizes)},
+        metadata={"block_sizes": plan.per_sample_sizes},
     )
-
-
-def _embed(direction: np.ndarray, dimension: int) -> np.ndarray:
-    """Zero-pad a direction matrix generated in ``min(m, p)`` space to ``dimension`` rows."""
-    direction = np.asarray(direction, dtype=float)
-    if direction.shape[0] == dimension:
-        return direction
-    padded = np.zeros((dimension, direction.shape[1]))
-    padded[: direction.shape[0], :] = direction
-    return padded

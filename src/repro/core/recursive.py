@@ -26,7 +26,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core._pipeline import realize_from_tangential, register_frontend
-from repro.core.mfti import generate_direction_sets, resolve_block_sizes, _embed
+from repro.core.assembly import IncrementalLoewner, prepare_block_directions
 from repro.core.options import RecursiveOptions
 from repro.core.results import MacromodelResult, RecursiveDiagnostics, RecursiveIteration
 from repro.core.tangential import TangentialData, build_tangential_data
@@ -109,24 +109,14 @@ def recursive_mfti(
     k = data.n_samples
     if k < 4:
         raise ValueError("recursive MFTI needs at least four sampled frequencies")
-    n_inputs, n_outputs = data.n_inputs, data.n_outputs
-    max_block = min(n_inputs, n_outputs)
 
-    per_sample_sizes = resolve_block_sizes(opts.block_size, k, max_block)
-    right_indices = list(range(0, k, 2))
-    left_indices = list(range(1, k, 2))
-    right_sizes = [per_sample_sizes[i] for i in right_indices]
-    left_sizes = [per_sample_sizes[i] for i in left_indices]
-    right_dirs, left_dirs = generate_direction_sets(opts, max_block, right_sizes, left_sizes)
-    right_dirs = [_embed(d, n_inputs) for d in right_dirs]
-    left_dirs = [_embed(d, n_outputs) for d in left_dirs]
-
+    plan = prepare_block_directions(opts, k, data.n_inputs, data.n_outputs)
     full = build_tangential_data(
         data,
-        right_directions=right_dirs,
-        left_directions=left_dirs,
-        right_indices=right_indices,
-        left_indices=left_indices,
+        right_directions=plan.right_directions,
+        left_directions=plan.left_directions,
+        right_indices=plan.right_indices,
+        left_indices=plan.left_indices,
         include_conjugates=opts.include_conjugates,
     )
 
@@ -145,20 +135,25 @@ def recursive_mfti(
     history: list[RecursiveIteration] = []
     converged = False
     result: Optional[MacromodelResult] = None
+    # the interpolation set only grows, so the pencil is grown incrementally:
+    # each iteration reuses the previous V@R / L@W products and computes only
+    # the newly selected rows/columns (bitwise identical to a scratch build)
+    assembler = IncrementalLoewner(full)
 
     for iteration in range(opts.max_iterations):
         right_sel = sorted(set(selected) | set(extra_right))
         left_sel = sorted(set(selected) | set(extra_left))
-        subset = full.select_samples(right_sel, left_sel)
+        subset, complex_pencil = assembler.update(right_sel, left_sel)
         result = realize_from_tangential(
             subset,
             opts,
             method="mfti-recursive",
             n_samples_used=len(right_sel) + len(left_sel),
-            metadata={"block_sizes": tuple(per_sample_sizes)},
+            metadata={"block_sizes": plan.per_sample_sizes},
             # only the rank-revealing profile is needed per refinement
             # iteration; skipping the L / sL SVDs makes each pass cheaper
             singular_value_profiles=("pencil",),
+            complex_pencil=complex_pencil,
         )
         if not remaining:
             converged = True

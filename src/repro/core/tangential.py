@@ -250,7 +250,7 @@ class TangentialData:
         """Number of selectable left sample groups (conjugate pairs count once)."""
         return len(self._left) // self._group_size()
 
-    def select_samples(
+    def subset(
         self,
         right_indices: Iterable[int],
         left_indices: Iterable[int],
@@ -260,7 +260,10 @@ class TangentialData:
         Indices refer to *sample groups*: when the data carries conjugate
         pairs, selecting group ``i`` keeps both the ``+j omega`` block and its
         mirrored partner, so the result remains eligible for the real
-        transform.
+        transform.  The incremental pencil builder
+        (:class:`~repro.core.assembly.IncrementalLoewner`) grows subsets
+        produced by this method and guarantees its pencils stay bitwise
+        identical to a from-scratch build on the same subset.
         """
         g = self._group_size()
         right_idx = sorted(set(int(i) for i in right_indices))
@@ -277,7 +280,33 @@ class TangentialData:
         left_blocks = []
         for i in left_idx:
             left_blocks.extend(self._left[i * g : (i + 1) * g])
-        return TangentialData(right_blocks, left_blocks, conjugate_pairs=self._conjugate_pairs)
+        # every constructor invariant (matching dimensions, conjugate-pair
+        # adjacency, disjoint point sets) is inherited by a subset of already
+        # validated data, so the re-validation pass is skipped -- the
+        # recursive front-end takes a subset per refinement iteration
+        return TangentialData._trusted(right_blocks, left_blocks, self._conjugate_pairs)
+
+    @classmethod
+    def _trusted(
+        cls,
+        right_blocks: Sequence[RightBlock],
+        left_blocks: Sequence[LeftBlock],
+        conjugate_pairs: bool,
+    ) -> "TangentialData":
+        """Construct without re-validating (blocks must come from validated data)."""
+        data = object.__new__(cls)
+        data._right = tuple(right_blocks)
+        data._left = tuple(left_blocks)
+        data._conjugate_pairs = bool(conjugate_pairs)
+        return data
+
+    def select_samples(
+        self,
+        right_indices: Iterable[int],
+        left_indices: Iterable[int],
+    ) -> "TangentialData":
+        """Original name of :meth:`subset`, retained for backwards compatibility."""
+        return self.subset(right_indices, left_indices)
 
     # ------------------------------------------------------------------ #
     # diagnostics

@@ -15,9 +15,8 @@ from __future__ import annotations
 import time
 from typing import Optional
 
-import numpy as np
-
 from repro.core._pipeline import realize_from_tangential, register_frontend
+from repro.core.assembly import interleaved_indices
 from repro.core.directions import vfti_directions
 from repro.core.options import VftiOptions
 from repro.core.results import MacromodelResult
@@ -67,8 +66,7 @@ def vfti(
     n_inputs = data.n_inputs
     n_outputs = data.n_outputs
 
-    right_indices = list(range(0, k, 2))
-    left_indices = list(range(1, k, 2))
+    right_indices, left_indices = interleaved_indices(k)
     right_dirs = vfti_directions(n_inputs, len(right_indices), start=opts.direction_start)
     left_dirs = vfti_directions(n_outputs, len(left_indices), start=opts.direction_start)
 

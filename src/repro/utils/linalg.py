@@ -29,13 +29,55 @@ __all__ = [
     "economic_svd",
     "numerical_rank",
     "rank_from_gap",
+    "realify",
     "relative_residual",
+    "rowcol_product",
     "singular_value_gaps",
     "solve_sylvester_diag",
     "truncated_svd_projectors",
     "hermitian_part",
     "is_effectively_real",
 ]
+
+
+def realify(matrix: np.ndarray) -> np.ndarray:
+    """Stack real and imaginary parts row-wise so complex LS becomes real LS.
+
+    A complex least-squares system ``A x = b`` with *real* unknowns ``x`` is
+    equivalent to the real system ``[Re A; Im A] x = [Re b; Im b]``; this is
+    the standard realification used by the vector-fitting solves.
+    """
+    matrix = np.asarray(matrix)
+    return np.vstack([matrix.real, matrix.imag])
+
+
+def rowcol_product(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Matrix product whose entries are *slicing-stable* bit for bit.
+
+    Computes ``a @ b`` with the guarantee that entry ``(i, j)`` is a pure
+    function of row ``a[i, :]`` and column ``b[:, j]`` alone: the product is
+    evaluated through ``einsum`` (``optimize=False``), whose sum-of-products
+    inner loop reduces each output entry sequentially over the inner axis,
+    independent of the surrounding shape.  Computing the product of any
+    row/column subset therefore yields bitwise the same entries as slicing
+    the full product.  Neither BLAS ``gemm`` nor a broadcast-multiply +
+    ``np.sum`` makes that guarantee (their blocking/accumulator layout, and
+    therefore their summation order and rounding, depend on the operand
+    shapes), which is why the incremental Loewner assembly -- which must
+    grow a pencil and stay bit-identical to the from-scratch build --
+    routes every ``V @ R`` / ``L @ W`` product through this kernel.  The
+    contract is locked by a hypothesis property in the test-suite.
+
+    The inner dimension of these products is the (small) port count, so the
+    cost stays negligible next to the SVDs that consume the pencil.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError("rowcol_product expects two matrices")
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(f"inner dimensions do not match: {a.shape} @ {b.shape}")
+    return np.einsum("ik,kj->ij", a, b, optimize=False)
 
 
 def block_diag(blocks: Sequence[np.ndarray]) -> np.ndarray:
@@ -156,8 +198,7 @@ def solve_sylvester_diag(
     rhs = ensure_2d(rhs, "rhs")
     if rhs.shape != (m_diag.size, lambda_diag.size):
         raise ValueError(
-            "rhs shape "
-            f"{rhs.shape} does not match diag sizes ({m_diag.size}, {lambda_diag.size})"
+            f"rhs shape {rhs.shape} does not match diag sizes ({m_diag.size}, {lambda_diag.size})"
         )
     denom = lambda_diag[np.newaxis, :] - m_diag[:, np.newaxis]
     if np.any(np.abs(denom) == 0.0):

@@ -18,11 +18,13 @@ to the sampled data.  This package provides a from-scratch implementation:
 
 from repro.vectorfitting.fitting import VectorFitResult, vector_fit
 from repro.vectorfitting.passivity import is_passive_scattering, passivity_violations
-from repro.vectorfitting.poles import initial_poles
+from repro.vectorfitting.poles import PoleGrouping, initial_poles, sort_poles
 from repro.vectorfitting.rational import PoleResidueModel
 
 __all__ = [
     "initial_poles",
+    "sort_poles",
+    "PoleGrouping",
     "PoleResidueModel",
     "vector_fit",
     "VectorFitResult",

@@ -15,6 +15,12 @@ function, obtained as eigenvalues of ``A - b ctilde^T`` in the standard real
 block form; unstable poles are flipped into the left half-plane.  After the
 pole iteration converges the residues of every entry are identified in a
 single joint least-squares solve.
+
+The numerical kernels (basis, relocation companion form, per-entry
+projection, residue reconstruction) live in :mod:`repro.core.assembly` as
+batched array operations over a precomputed
+:class:`~repro.core.assembly.PoleGrouping`; this module only drives the
+iteration.
 """
 
 from __future__ import annotations
@@ -25,14 +31,19 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.assembly import (
+    PoleGrouping,
+    partial_fraction_basis,
+    relocation_matrices,
+    residues_from_coefficients,
+    vf_scaling_blocks,
+)
 from repro.data.dataset import FrequencyData
-from repro.vectorfitting.poles import initial_poles
+from repro.utils.linalg import realify
+from repro.vectorfitting.poles import initial_poles, sort_poles
 from repro.vectorfitting.rational import PoleResidueModel
 
 __all__ = ["VectorFitResult", "vector_fit"]
-
-#: Relative magnitude below which a pole's imaginary part is treated as zero.
-_REAL_POLE_TOLERANCE = 1e-9
 
 
 @dataclass(frozen=True)
@@ -76,100 +87,26 @@ class VectorFitResult:
         )
 
 
-def _group_poles(poles: np.ndarray) -> list[tuple[str, tuple[int, ...]]]:
-    """Group a pole array into real singles and adjacent conjugate pairs."""
-    groups: list[tuple[str, tuple[int, ...]]] = []
-    i = 0
-    n = poles.size
-    while i < n:
-        pole = poles[i]
-        if abs(pole.imag) <= _REAL_POLE_TOLERANCE * max(abs(pole), 1.0):
-            groups.append(("real", (i,)))
-            i += 1
-            continue
-        if i + 1 < n and np.isclose(poles[i + 1], np.conj(pole), rtol=1e-6, atol=1e-12):
-            groups.append(("pair", (i, i + 1)))
-            i += 2
-            continue
-        raise ValueError("complex poles must appear in adjacent conjugate pairs")
-    return groups
-
-
-def _basis(s_points: np.ndarray, poles: np.ndarray) -> np.ndarray:
-    """Real-coefficient partial-fraction basis evaluated at the sample points.
-
-    Returns a complex ``(N, n_poles)`` matrix whose columns multiply *real*
-    coefficients: real poles get ``1/(s - a)``; conjugate pairs get
-    ``1/(s-a) + 1/(s-conj(a))`` and ``j/(s-a) - j/(s-conj(a))``.
-    """
-    n = poles.size
-    phi = np.empty((s_points.size, n), dtype=complex)
-    for kind, idx in _group_poles(poles):
-        if kind == "real":
-            phi[:, idx[0]] = 1.0 / (s_points - poles[idx[0]].real)
-        else:
-            a = poles[idx[0]]
-            if a.imag < 0:
-                a = np.conj(a)
-            col1 = 1.0 / (s_points - a) + 1.0 / (s_points - np.conj(a))
-            col2 = 1j / (s_points - a) - 1j / (s_points - np.conj(a))
-            phi[:, idx[0]] = col1
-            phi[:, idx[1]] = col2
-    return phi
-
-
-def _realify(matrix: np.ndarray) -> np.ndarray:
-    """Stack real and imaginary parts so complex LS becomes real LS."""
-    return np.vstack([matrix.real, matrix.imag])
-
-
-def _relocate_poles(poles: np.ndarray, c_tilde: np.ndarray, *, enforce_stability: bool) -> np.ndarray:
+def _relocate_poles(
+    poles: np.ndarray,
+    grouping: PoleGrouping,
+    c_tilde: np.ndarray,
+    *,
+    enforce_stability: bool,
+) -> np.ndarray:
     """New poles = eigenvalues of (A - b c_tilde^T) in the real block form."""
-    n = poles.size
-    a_mat = np.zeros((n, n))
-    b_vec = np.zeros(n)
-    for kind, idx in _group_poles(poles):
-        if kind == "real":
-            a_mat[idx[0], idx[0]] = poles[idx[0]].real
-            b_vec[idx[0]] = 1.0
-        else:
-            a = poles[idx[0]]
-            if a.imag < 0:
-                a = np.conj(a)
-            alpha, beta = a.real, a.imag
-            i, j = idx
-            a_mat[i, i] = alpha
-            a_mat[i, j] = beta
-            a_mat[j, i] = -beta
-            a_mat[j, j] = alpha
-            b_vec[i] = 2.0
-            b_vec[j] = 0.0
+    a_mat, b_vec = relocation_matrices(poles, grouping)
     new_poles = np.linalg.eigvals(a_mat - np.outer(b_vec, c_tilde))
     if enforce_stability:
         new_poles = np.where(new_poles.real > 0, -new_poles.real + 1j * new_poles.imag, new_poles)
-    return _sort_poles(new_poles)
-
-
-def _sort_poles(poles: np.ndarray) -> np.ndarray:
-    """Order poles with conjugate pairs adjacent (positive imaginary part first)."""
-    reals = sorted([p.real for p in poles if abs(p.imag) <= _REAL_POLE_TOLERANCE * max(abs(p), 1.0)])
-    complexes = [p for p in poles if abs(p.imag) > _REAL_POLE_TOLERANCE * max(abs(p), 1.0)]
-    positives = sorted([p for p in complexes if p.imag > 0], key=lambda p: (abs(p.imag), p.real))
-    ordered: list[complex] = [complex(r, 0.0) for r in reals]
-    for p in positives:
-        ordered.append(p)
-        ordered.append(np.conj(p))
-    # odd leftovers (numerically unpaired) are kept as real poles at their real part
-    missing = len(poles) - len(ordered)
-    for _ in range(max(0, missing)):
-        ordered.append(complex(np.mean([p.real for p in complexes]) if complexes else -1.0, 0.0))
-    return np.asarray(ordered[: len(poles)], dtype=complex)
+    return sort_poles(new_poles)
 
 
 def _fit_residues(
     phi1_real: np.ndarray,
     responses_real: np.ndarray,
     poles: np.ndarray,
+    grouping: PoleGrouping,
     shape: tuple[int, int],
     fit_constant: bool,
 ) -> PoleResidueModel:
@@ -177,26 +114,11 @@ def _fit_residues(
     coeffs, *_ = np.linalg.lstsq(phi1_real, responses_real, rcond=None)
     n = poles.size
     p, m = shape
-    n_entries = p * m
-    residues = np.zeros((n, p, m), dtype=complex)
-    for kind, idx in _group_poles(poles):
-        if kind == "real":
-            row = coeffs[idx[0]].reshape(p, m)
-            residues[idx[0]] = row
-        else:
-            re_part = coeffs[idx[0]].reshape(p, m)
-            im_part = coeffs[idx[1]].reshape(p, m)
-            a = poles[idx[0]]
-            if a.imag < 0:
-                residues[idx[0]] = re_part - 1j * im_part
-                residues[idx[1]] = re_part + 1j * im_part
-            else:
-                residues[idx[0]] = re_part + 1j * im_part
-                residues[idx[1]] = re_part - 1j * im_part
+    residues = residues_from_coefficients(coeffs, poles, grouping, (p, m))
     if fit_constant:
         d = coeffs[n].reshape(p, m)
     else:
-        d = np.zeros(n_entries).reshape(p, m)
+        d = np.zeros((p, m))
     return PoleResidueModel(poles, residues, d)
 
 
@@ -245,38 +167,31 @@ def vector_fit(
     n_entries = p * m
     # responses as columns: entry (i_out, i_in) -> column index i_out * m + i_in
     responses = data.samples.reshape(data.n_samples, n_entries)
-    responses_real = _realify(responses)
+    responses_real = realify(responses)
 
     poles = (np.asarray(starting_poles, dtype=complex).ravel()
              if starting_poles is not None
              else initial_poles(n_poles, float(freqs[0]), float(freqs[-1])))
     if poles.size != n_poles:
         raise ValueError(f"starting_poles must contain {n_poles} poles, got {poles.size}")
-    poles = _sort_poles(poles)
+    poles = sort_poles(poles)
 
     history: list[float] = []
     iterations_done = 0
     for _ in range(int(n_iterations)):
-        phi = _basis(s_points, poles)
+        grouping = PoleGrouping.from_poles(poles)
+        phi = partial_fraction_basis(s_points, poles, grouping)
         columns = [phi, np.ones((s_points.size, 1))] if fit_constant else [phi]
-        phi1_real = _realify(np.hstack(columns))
+        phi1_real = realify(np.hstack(columns))
         # orthogonal projector onto the complement of the per-entry basis
         q1, _ = np.linalg.qr(phi1_real)
 
-        blocks = []
-        rhs_blocks = []
-        for j in range(n_entries):
-            weighted = _realify(-responses[:, j, np.newaxis] * phi)
-            rhs_j = np.concatenate([responses[:, j].real, responses[:, j].imag])
-            proj_a = weighted - q1 @ (q1.T @ weighted)
-            proj_b = rhs_j - q1 @ (q1.T @ rhs_j)
-            blocks.append(proj_a)
-            rhs_blocks.append(proj_b)
-        a_stacked = np.vstack(blocks)
-        b_stacked = np.concatenate(rhs_blocks)
+        # fast-VF projection of every matrix entry, batched in one kernel call
+        a_stacked, b_stacked = vf_scaling_blocks(phi, responses, q1)
         c_tilde, *_ = np.linalg.lstsq(a_stacked, b_stacked, rcond=None)
 
-        new_poles = _relocate_poles(poles, c_tilde, enforce_stability=enforce_stability)
+        new_poles = _relocate_poles(poles, grouping, c_tilde,
+                                    enforce_stability=enforce_stability)
         displacement = float(
             np.linalg.norm(np.sort_complex(new_poles) - np.sort_complex(poles))
             / max(np.linalg.norm(poles), 1e-300)
@@ -287,10 +202,11 @@ def vector_fit(
         if displacement < convergence_tolerance:
             break
 
-    phi = _basis(s_points, poles)
+    grouping = PoleGrouping.from_poles(poles)
+    phi = partial_fraction_basis(s_points, poles, grouping)
     columns = [phi, np.ones((s_points.size, 1))] if fit_constant else [phi]
-    phi1_real = _realify(np.hstack(columns))
-    model = _fit_residues(phi1_real, responses_real, poles, (p, m), fit_constant)
+    phi1_real = realify(np.hstack(columns))
+    model = _fit_residues(phi1_real, responses_real, poles, grouping, (p, m), fit_constant)
     elapsed = time.perf_counter() - started
     return VectorFitResult(
         model=model,

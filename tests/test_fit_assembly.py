@@ -1,0 +1,380 @@
+"""Equivalence and structure tests for the batched fit-assembly layer.
+
+The contract of :mod:`repro.core.assembly` is that the refactor is
+*numerically invisible*: every batched kernel agrees with its looped
+reference (bitwise where the operations are elementwise, to round-off where
+GEMM batching reorders summations), the slicing-stable product makes the
+incrementally grown Loewner pencil bitwise identical to the from-scratch
+build, and ``sort_poles`` always produces a groupable pole array -- including
+on the previously untested "numerically unpaired complex pole" leftover path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.assembly import (
+    IncrementalLoewner,
+    PoleGrouping,
+    partial_fraction_basis,
+    partial_fraction_basis_reference,
+    relocation_matrices,
+    relocation_matrices_reference,
+    residues_from_coefficients,
+    residues_from_coefficients_reference,
+    vf_scaling_blocks,
+    vf_scaling_blocks_reference,
+)
+from repro.core.loewner import build_loewner_pencil
+from repro.core.tangential import LeftBlock, RightBlock, TangentialData
+from repro.utils.linalg import realify, rowcol_product
+from repro.vectorfitting.poles import initial_poles, sort_poles
+
+common_settings = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# --------------------------------------------------------------------- #
+# strategies
+# --------------------------------------------------------------------- #
+def _make_poles(n_reals: int, n_pairs: int, seed: int) -> np.ndarray:
+    """A well-formed pole array: real singles + adjacent conjugate pairs."""
+    rng = np.random.default_rng(seed)
+    poles: list[complex] = [complex(-float(r), 0.0) for r in rng.uniform(0.1, 50.0, n_reals)]
+    for _ in range(n_pairs):
+        a = complex(-rng.uniform(0.1, 10.0), rng.uniform(0.5, 100.0))
+        if rng.uniform() < 0.5:
+            poles.extend([a, np.conj(a)])
+        else:
+            poles.extend([np.conj(a), a])
+    return np.asarray(poles, dtype=complex)
+
+
+pole_shapes = st.tuples(
+    st.integers(min_value=0, max_value=3),
+    st.integers(min_value=0, max_value=4),
+    st.integers(min_value=0, max_value=2**31 - 1),
+).filter(lambda shape: shape[0] + shape[1] > 0)
+
+
+def _make_tangential(n_right: int, n_left: int, n_ports: int, block: int,
+                     seed: int) -> TangentialData:
+    """Random conjugate-paired tangential data with disjoint point sets."""
+    rng = np.random.default_rng(seed)
+    t = min(block, n_ports)
+
+    def _right(i):
+        point = 1j * (1.0 + 2.0 * i)
+        directions = rng.normal(size=(n_ports, t)) + 1j * rng.normal(size=(n_ports, t))
+        values = rng.normal(size=(n_ports, t)) + 1j * rng.normal(size=(n_ports, t))
+        blk = RightBlock(point, directions, values)
+        return [blk, blk.conjugate()]
+
+    def _left(i):
+        point = 1j * (2.0 + 2.0 * i)
+        directions = rng.normal(size=(t, n_ports)) + 1j * rng.normal(size=(t, n_ports))
+        values = rng.normal(size=(t, n_ports)) + 1j * rng.normal(size=(t, n_ports))
+        blk = LeftBlock(point, directions, values)
+        return [blk, blk.conjugate()]
+
+    rights = [blk for i in range(n_right) for blk in _right(i)]
+    lefts = [blk for i in range(n_left) for blk in _left(i)]
+    return TangentialData(rights, lefts, conjugate_pairs=True)
+
+
+# --------------------------------------------------------------------- #
+# sort_poles / PoleGrouping round trips
+# --------------------------------------------------------------------- #
+class TestSortPolesProperties:
+    @given(pole_shapes)
+    @common_settings
+    def test_sorted_poles_are_always_groupable(self, shape):
+        n_reals, n_pairs, seed = shape
+        rng = np.random.default_rng(seed)
+        poles = _make_poles(n_reals, n_pairs, seed)
+        poles = poles[rng.permutation(poles.size)]
+        ordered = sort_poles(poles)
+        grouping = PoleGrouping.from_poles(ordered)  # must not raise
+        assert ordered.size == poles.size
+        assert grouping.real_indices.size + 2 * grouping.pair_first.size == poles.size
+
+    @given(pole_shapes)
+    @common_settings
+    def test_sort_is_idempotent(self, shape):
+        n_reals, n_pairs, seed = shape
+        poles = _make_poles(n_reals, n_pairs, seed)
+        ordered = sort_poles(poles)
+        assert np.array_equal(sort_poles(ordered), ordered)
+
+    @given(pole_shapes)
+    @common_settings
+    def test_sort_preserves_multiset_of_paired_input(self, shape):
+        n_reals, n_pairs, seed = shape
+        rng = np.random.default_rng(seed)
+        poles = _make_poles(n_reals, n_pairs, seed)
+        shuffled = poles[rng.permutation(poles.size)]
+        ordered = sort_poles(shuffled)
+        assert np.array_equal(np.sort_complex(ordered), np.sort_complex(poles))
+
+    @given(pole_shapes)
+    @common_settings
+    def test_conjugate_pairs_adjacent_positive_first(self, shape):
+        n_reals, n_pairs, seed = shape
+        poles = _make_poles(n_reals, n_pairs, seed)
+        ordered = sort_poles(poles)
+        grouping = PoleGrouping.from_poles(ordered)
+        first = ordered[grouping.pair_first]
+        second = ordered[grouping.pair_second]
+        assert np.all(first.imag > 0)
+        assert np.array_equal(second, np.conj(first))
+
+    @given(st.integers(min_value=0, max_value=3), st.integers(min_value=0, max_value=3),
+           st.integers(min_value=0, max_value=2**31 - 1))
+    @common_settings
+    def test_unpaired_leftovers_become_real_poles(self, n_reals, n_pairs, seed):
+        """The leftover path: a dangling positive-imag pole must not survive."""
+        poles = _make_poles(n_reals, n_pairs, seed).tolist()
+        poles.append(complex(-0.5, 7.25))  # unpaired, positive imaginary part
+        ordered = sort_poles(np.asarray(poles))
+        grouping = PoleGrouping.from_poles(ordered)  # must not raise
+        assert ordered.size == len(poles)
+        # the dangling pole was replaced by a real pole (odd complex count)
+        n_complex = ordered.size - grouping.real_indices.size
+        assert n_complex % 2 == 0
+
+    def test_upper_half_plane_input_is_auto_mirrored(self):
+        """The public-API convention: unpaired positives gain mirrors while room allows."""
+        poles = np.array([-1.0 + 2.0j, -1.0 - 2.0j, -3.0 + 5.0j, -4.0 + 6.0j])
+        ordered = sort_poles(poles)
+        assert np.array_equal(
+            ordered, np.array([-1.0 + 2.0j, -1.0 - 2.0j, -3.0 + 5.0j, -3.0 - 5.0j]))
+
+    def test_leftover_fills_are_distinct(self):
+        """Each leftover pole is realified at its own real part (no duplicate columns)."""
+        poles = np.array([-2.0 + 1.0j, -6.0 - 9.0j, -7.0 - 8.0j, -8.0 - 3.0j])
+        ordered = sort_poles(poles)
+        assert ordered.size == 4
+        assert complex(-2.0, 1.0) in ordered and complex(-2.0, -1.0) in ordered
+        fills = sorted(p.real for p in ordered if p.imag == 0.0)
+        assert fills == [-7.0, -6.0]  # distinct, own real parts
+
+    def test_dangling_pole_never_displaces_a_genuine_pair(self):
+        """A leftover pole with smaller |Im| must not evict a valid pair."""
+        poles = np.array([-1.0 + 5.0j, -1.0 - 5.0j, -2.0 + 1.0j])
+        ordered = sort_poles(poles)
+        assert complex(-1.0, 5.0) in ordered and complex(-1.0, -5.0) in ordered
+        replaced = [p for p in ordered if p.imag == 0.0]
+        assert len(replaced) == 1  # the dangling -2+1j became a real fill
+
+    @given(pole_shapes)
+    @common_settings
+    def test_dangling_pole_property_pairs_survive(self, shape):
+        """Appending a dangling pole to any paired set keeps every pair."""
+        n_reals, n_pairs, seed = shape
+        base = _make_poles(n_reals, n_pairs, seed).tolist()
+        with_dangling = np.asarray(base + [complex(-0.25, 0.125)])
+        ordered = sort_poles(with_dangling)
+        for pole in base:
+            assert pole in ordered
+        assert PoleGrouping.from_poles(ordered).pair_first.size == n_pairs
+
+    def test_single_unpaired_positive_pole_is_replaced(self):
+        ordered = sort_poles(np.array([complex(-0.1, 2.0)]))
+        assert ordered.size == 1
+        assert ordered[0].imag == 0.0
+        assert ordered[0].real == pytest.approx(-0.1)
+
+    def test_single_unpaired_negative_pole_is_replaced(self):
+        ordered = sort_poles(np.array([complex(-0.3, -2.0)]))
+        assert ordered.size == 1
+        assert ordered[0] == complex(-0.3, 0.0)
+
+    def test_grouping_rejects_dangling_complex_pole(self):
+        with pytest.raises(ValueError):
+            PoleGrouping.from_poles(np.array([complex(-1.0, 2.0), complex(-1.0, 3.0)]))
+
+    def test_grouping_partitions_the_pole_indices(self):
+        poles = sort_poles(initial_poles(7, 1e2, 1e5))
+        grouping = PoleGrouping.from_poles(poles)
+        assert grouping.real_indices.size == 1
+        assert grouping.pair_first.size == 3
+        covered = np.concatenate(
+            [grouping.real_indices, grouping.pair_first, grouping.pair_second])
+        assert sorted(covered.tolist()) == list(range(poles.size))
+
+
+# --------------------------------------------------------------------- #
+# vector-fitting kernels vs their looped references
+# --------------------------------------------------------------------- #
+class TestVectorFitKernels:
+    @given(pole_shapes, st.integers(min_value=1, max_value=40))
+    @common_settings
+    def test_basis_batched_equals_looped_bitwise(self, shape, n_points):
+        n_reals, n_pairs, seed = shape
+        poles = sort_poles(_make_poles(n_reals, n_pairs, seed))
+        grouping = PoleGrouping.from_poles(poles)
+        s_points = 1j * np.linspace(0.5, 120.0, n_points)
+        batched = partial_fraction_basis(s_points, poles, grouping)
+        looped = partial_fraction_basis_reference(s_points, poles)
+        assert np.array_equal(batched, looped)
+
+    @given(pole_shapes)
+    @common_settings
+    def test_relocation_matrices_batched_equals_looped_bitwise(self, shape):
+        n_reals, n_pairs, seed = shape
+        poles = sort_poles(_make_poles(n_reals, n_pairs, seed))
+        grouping = PoleGrouping.from_poles(poles)
+        a_batched, b_batched = relocation_matrices(poles, grouping)
+        a_looped, b_looped = relocation_matrices_reference(poles)
+        assert np.array_equal(a_batched, a_looped)
+        assert np.array_equal(b_batched, b_looped)
+
+    @given(pole_shapes, st.integers(min_value=1, max_value=3),
+           st.integers(min_value=1, max_value=3))
+    @common_settings
+    def test_residues_batched_equals_looped_bitwise(self, shape, p, m):
+        n_reals, n_pairs, seed = shape
+        # exercise both pair orientations: raw (unsorted) pole arrays keep
+        # whichever of (+, -) ordering the generator produced
+        poles = _make_poles(n_reals, n_pairs, seed)
+        grouping = PoleGrouping.from_poles(poles)
+        rng = np.random.default_rng(seed)
+        coeffs = rng.normal(size=(poles.size + 1, p * m))
+        batched = residues_from_coefficients(coeffs, poles, grouping, (p, m))
+        looped = residues_from_coefficients_reference(coeffs, poles, (p, m))
+        assert np.array_equal(batched, looped)
+
+    @given(st.integers(min_value=2, max_value=4), st.integers(min_value=1, max_value=3),
+           st.integers(min_value=0, max_value=2**31 - 1))
+    @common_settings
+    def test_scaling_blocks_batched_matches_looped(self, n_pairs, n_ports, seed):
+        poles = sort_poles(_make_poles(1, n_pairs, seed))
+        grouping = PoleGrouping.from_poles(poles)
+        rng = np.random.default_rng(seed)
+        n_samples = 12
+        s_points = 1j * np.linspace(0.5, 120.0, n_samples)
+        responses = (rng.normal(size=(n_samples, n_ports * n_ports))
+                     + 1j * rng.normal(size=(n_samples, n_ports * n_ports)))
+        phi = partial_fraction_basis(s_points, poles, grouping)
+        phi1_real = realify(np.hstack([phi, np.ones((n_samples, 1))]))
+        q1, _ = np.linalg.qr(phi1_real)
+        a_batched, b_batched = vf_scaling_blocks(phi, responses, q1)
+        a_looped, b_looped = vf_scaling_blocks_reference(phi, responses, q1)
+        assert a_batched.shape == a_looped.shape
+        # GEMM batching reorders the projection summations, so agreement is
+        # to round-off rather than bitwise
+        scale = max(float(np.max(np.abs(a_looped))), 1.0)
+        assert np.allclose(a_batched, a_looped, rtol=1e-10, atol=1e-12 * scale)
+        assert np.allclose(b_batched, b_looped, rtol=1e-10, atol=1e-12 * scale)
+
+
+# --------------------------------------------------------------------- #
+# slicing-stable products and incremental pencil growth
+# --------------------------------------------------------------------- #
+class TestRowcolProduct:
+    @given(st.integers(min_value=1, max_value=12), st.integers(min_value=1, max_value=6),
+           st.integers(min_value=1, max_value=12), st.integers(min_value=0, max_value=2**31 - 1))
+    @common_settings
+    def test_matches_matmul(self, rows, inner, cols, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(rows, inner)) + 1j * rng.normal(size=(rows, inner))
+        b = rng.normal(size=(inner, cols)) + 1j * rng.normal(size=(inner, cols))
+        assert np.allclose(rowcol_product(a, b), a @ b, rtol=1e-12, atol=1e-14)
+
+    @given(st.integers(min_value=2, max_value=12), st.integers(min_value=1, max_value=6),
+           st.integers(min_value=2, max_value=12), st.integers(min_value=0, max_value=2**31 - 1))
+    @common_settings
+    def test_slicing_stability_bitwise(self, rows, inner, cols, seed):
+        """The determinism contract the incremental assembly relies on."""
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(rows, inner)) + 1j * rng.normal(size=(rows, inner))
+        b = rng.normal(size=(inner, cols)) + 1j * rng.normal(size=(inner, cols))
+        full = rowcol_product(a, b)
+        row_idx = rng.permutation(rows)[: max(1, rows // 2)]
+        col_idx = rng.permutation(cols)[: max(1, cols // 2)]
+        sub = rowcol_product(a[row_idx], b[:, col_idx])
+        assert np.array_equal(sub, full[np.ix_(row_idx, col_idx)])
+
+    def test_slicing_stability_at_pencil_scale(self):
+        """Same contract at the size of a real PDN pencil (k ~ 300, m = 14)."""
+        rng = np.random.default_rng(42)
+        a = rng.normal(size=(300, 14)) + 1j * rng.normal(size=(300, 14))
+        b = rng.normal(size=(14, 280)) + 1j * rng.normal(size=(14, 280))
+        full = rowcol_product(a, b)
+        row_idx = rng.permutation(300)[:120]
+        col_idx = rng.permutation(280)[:100]
+        sub = rowcol_product(a[row_idx], b[:, col_idx])
+        assert np.array_equal(sub, full[np.ix_(row_idx, col_idx)])
+
+    def test_mixed_dtypes_promote_like_matmul(self):
+        rng = np.random.default_rng(7)
+        a = rng.normal(size=(6, 5)) + 1j * rng.normal(size=(6, 5))
+        b = rng.normal(size=(5, 4))  # real directions against complex values
+        out = rowcol_product(a, b)
+        assert out.dtype == (a @ b).dtype
+        assert np.allclose(out, a @ b, rtol=1e-12, atol=1e-14)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            rowcol_product(np.zeros((2, 3)), np.zeros((4, 2)))
+        with pytest.raises(ValueError):
+            rowcol_product(np.zeros(3), np.zeros((3, 2)))
+
+
+class TestIncrementalLoewner:
+    @given(st.integers(min_value=4, max_value=8), st.integers(min_value=4, max_value=8),
+           st.integers(min_value=1, max_value=3), st.integers(min_value=0, max_value=2**31 - 1))
+    @common_settings
+    def test_grown_pencil_is_bitwise_identical_to_scratch(self, n_right, n_left,
+                                                          n_ports, seed):
+        """Random selection orders: incremental growth == from-scratch build."""
+        rng = np.random.default_rng(seed)
+        full = _make_tangential(n_right, n_left, n_ports, block=2, seed=seed)
+        assembler = IncrementalLoewner(full)
+
+        right_order = rng.permutation(n_right).tolist()
+        left_order = rng.permutation(n_left).tolist()
+        start_r = rng.integers(1, n_right + 1)
+        start_l = rng.integers(1, n_left + 1)
+        right_sel = right_order[:start_r]
+        left_sel = left_order[:start_l]
+        while True:
+            subset, grown = assembler.update(right_sel, left_sel)
+            scratch = build_loewner_pencil(full.subset(right_sel, left_sel))
+            assert np.array_equal(grown.loewner, scratch.loewner)
+            assert np.array_equal(grown.shifted_loewner, scratch.shifted_loewner)
+            assert np.array_equal(grown.W, scratch.W)
+            assert np.array_equal(grown.V, scratch.V)
+            assert np.array_equal(grown.lambda_points, scratch.lambda_points)
+            assert np.array_equal(grown.mu_points, scratch.mu_points)
+            if len(right_sel) == n_right and len(left_sel) == n_left:
+                break
+            grow_r = int(rng.integers(0, 3))
+            grow_l = int(rng.integers(0, 3))
+            if len(right_sel) < n_right and (grow_r or len(left_sel) == n_left):
+                right_sel = right_sel + right_order[len(right_sel):len(right_sel) + max(grow_r, 1)]
+            if len(left_sel) < n_left and (grow_l or len(right_sel) == n_right):
+                left_sel = left_sel + left_order[len(left_sel):len(left_sel) + max(grow_l, 1)]
+
+    def test_non_monotone_selection_falls_back_to_scratch(self):
+        full = _make_tangential(5, 5, 2, block=2, seed=3)
+        assembler = IncrementalLoewner(full)
+        assembler.update([0, 1, 2], [0, 1, 2])
+        subset, grown = assembler.update([2, 3], [1, 4])  # shrinks: scratch path
+        scratch = build_loewner_pencil(full.subset([2, 3], [1, 4]))
+        assert np.array_equal(grown.loewner, scratch.loewner)
+        assert np.array_equal(grown.shifted_loewner, scratch.shifted_loewner)
+
+    def test_update_preserves_block_structure(self):
+        full = _make_tangential(4, 4, 3, block=2, seed=11)
+        assembler = IncrementalLoewner(full)
+        subset, pencil = assembler.update([1, 3], [0, 2])
+        assert pencil.right_block_sizes == subset.right_block_sizes
+        assert pencil.left_block_sizes == subset.left_block_sizes
+        assert assembler.full is full
