@@ -33,6 +33,14 @@ Top-level layout
     disk stores, transparent replay through ``run_fit`` and the batch engine.
 ``repro.experiments``
     Drivers that regenerate every figure and table of the paper.
+``repro.serve``
+    Asyncio fit service (in-flight dedupe, admission control), shard
+    dispatcher and the synchronous :class:`Client` / :func:`submit` facade.
+``repro.api``
+    The stable public surface; what it exports (and this module re-exports)
+    is the compatibility contract, everything else is internal.
+
+The umbrella CLI is ``python -m repro {fit,batch,shard,serve}``.
 
 Quickstart
 ----------
@@ -45,6 +53,13 @@ Quickstart
 True
 """
 
+from repro.api import (
+    Client,
+    JobRecord,
+    merge_shard_results,
+    plan_shards,
+    submit,
+)
 from repro.batch import BatchEngine, BatchResult, FitJob
 from repro.cache import DiskStore, FitCache, MemoryStore, dataset_fingerprint, fit_key
 from repro.core import (
@@ -87,6 +102,11 @@ __all__ = [
     "BatchEngine",
     "BatchResult",
     "FitJob",
+    "JobRecord",
+    "Client",
+    "submit",
+    "plan_shards",
+    "merge_shard_results",
     "FitCache",
     "MemoryStore",
     "DiskStore",

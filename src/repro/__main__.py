@@ -1,0 +1,6 @@
+"""Entry point of the ``python -m repro`` umbrella CLI."""
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -116,6 +116,57 @@ class BatchEngine:
             chunk_size=int_env("REPRO_BATCH_CHUNK"),
         )
 
+    @classmethod
+    def from_config(cls, config: Optional[dict]) -> "BatchEngine":
+        """Build an engine from the flat config dict the serve protocol uses.
+
+        Recognised keys (all optional): ``executor``, ``max_workers``,
+        ``chunk_size``, ``cache_dir`` (path -> disk-backed
+        :class:`~repro.cache.FitCache`) and ``memory_cache`` (bool -> fresh
+        memory-backed cache).  The same dict configures the HTTP service, the
+        shard dispatcher and direct-Python callers, so one engine description
+        travels every path.  Unknown keys raise rather than being ignored.
+        """
+        config = dict(config or {})
+        cache_dir = config.pop("cache_dir", None)
+        memory_cache = bool(config.pop("memory_cache", False))
+        if cache_dir is not None and memory_cache:
+            raise ValueError("engine config cannot set both cache_dir and memory_cache")
+        kwargs = {}
+        for key in ("executor", "max_workers", "chunk_size"):
+            if key in config:
+                kwargs[key] = config.pop(key)
+        if config:
+            raise ValueError(
+                f"unknown engine config keys: {', '.join(sorted(config))}"
+            )
+        cache = None
+        if cache_dir is not None:
+            cache = FitCache.on_disk(cache_dir)
+        elif memory_cache:
+            cache = FitCache()
+        return cls(cache=cache, **kwargs)
+
+    def to_config(self) -> dict:
+        """The flat config dict :meth:`from_config` rebuilds this engine from.
+
+        The cache is described structurally (``cache_dir`` for disk stores,
+        ``memory_cache`` for memory stores), not by contents -- a rebuilt
+        memory-backed engine starts cold.
+        """
+        config: dict = {"executor": self.executor}
+        if self.max_workers is not None:
+            config["max_workers"] = self.max_workers
+        if self.chunk_size is not None:
+            config["chunk_size"] = self.chunk_size
+        if self.cache is not None:
+            store = self.cache.store
+            if isinstance(store, MemoryStore):
+                config["memory_cache"] = True
+            else:
+                config["cache_dir"] = str(store.root)
+        return config
+
     @property
     def n_workers(self) -> int:
         """Resolved worker count (1 for the serial executor)."""

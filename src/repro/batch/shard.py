@@ -56,18 +56,21 @@ from repro.batch.sharding import (
     write_shard_result,
 )
 
-__all__ = ["main", "cli_subprocess"]
+__all__ = ["main", "cli_subprocess", "register_shard_commands"]
 
 
-def cli_subprocess(*args: str, timeout: float = 600) -> subprocess.CompletedProcess:
-    """Invoke this CLI in a fresh subprocess, exactly as an operator would.
+def cli_subprocess(*args: str, timeout: float = 600,
+                   module: str = "repro.batch.shard") -> subprocess.CompletedProcess:
+    """Invoke a repro CLI module in a fresh subprocess, exactly as an operator would.
 
     The one shared harness behind the differential tests and the CI sharded
     smoke (``benchmarks/bench_shard_merge.py``): it prepends this package's
     ``src`` root to ``PYTHONPATH`` so the child resolves the same ``repro``
     build regardless of how the parent was launched, and captures text
     output.  Keeping it here means the PYTHONPATH handling can never drift
-    between the two call sites.
+    between the call sites.  ``module`` defaults to this (deprecated alias)
+    module so existing callers keep exercising the alias path; pass
+    ``module="repro"`` to drive the umbrella CLI.
     """
     src_root = os.path.dirname(
         os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
@@ -75,7 +78,7 @@ def cli_subprocess(*args: str, timeout: float = 600) -> subprocess.CompletedProc
     env["PYTHONPATH"] = os.pathsep.join(
         part for part in (src_root, env.get("PYTHONPATH")) if part)
     return subprocess.run(
-        [sys.executable, "-m", "repro.batch.shard", *args],
+        [sys.executable, "-m", module, *args],
         capture_output=True, text=True, env=env, timeout=timeout,
     )
 
@@ -177,13 +180,43 @@ def cmd_merge(args: argparse.Namespace) -> int:
     return 0
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.batch.shard",
-        description=__doc__.splitlines()[0],
-    )
-    commands = parser.add_subparsers(dest="command", required=True)
+def cmd_dispatch(args: argparse.Namespace) -> int:
+    from repro.serve.dispatcher import SubprocessLauncher, dispatch_workload
 
+    merged = dispatch_workload(
+        args.workload,
+        args.shards,
+        args.out_dir,
+        workload_kwargs=_workload_kwargs(args.workload_args),
+        cache_dir=args.cache_dir,
+        launcher=SubprocessLauncher(executor=args.executor, workers=args.workers,
+                                    chunk_size=args.chunk_size),
+        timeout=args.timeout,
+        max_retries=args.max_retries,
+        backoff_seconds=args.backoff,
+        bench_weights=args.bench_weights,
+    )
+    if args.out:
+        merged.save_json(args.out)
+    print(merged.summary_table(title=(
+        f"dispatched {merged.executor}: {merged.n_ok}/{merged.n_jobs} ok"
+        + (f", cache hits={merged.n_cache_hits}/{merged.n_jobs}"
+           if merged.used_cache else "")
+        + (f" -> {args.out}" if args.out else "")
+    )))
+    if args.fail_on_job_errors and merged.n_failed:
+        print(f"error: {merged.n_failed} job(s) failed", file=sys.stderr)
+        return 1
+    return 0
+
+
+def register_shard_commands(commands) -> None:
+    """Attach the ``plan`` / ``run`` / ``merge`` / ``dispatch`` subcommands.
+
+    Shared between the ``python -m repro shard`` umbrella CLI
+    (:mod:`repro.cli`) and this module's deprecated direct entry point, so
+    the two can never drift apart.
+    """
     plan = commands.add_parser(
         "plan", help="assign a named workload grid to N shard manifests")
     plan.add_argument("--workload", required=True,
@@ -222,16 +255,65 @@ def build_parser() -> argparse.ArgumentParser:
     merge.add_argument("--fail-on-job-errors", action="store_true",
                        help="exit 1 when any merged record has status 'failed'")
     merge.set_defaults(handler=cmd_merge)
+
+    dispatch = commands.add_parser(
+        "dispatch",
+        help="plan + launch shard runner subprocesses + retry + merge, one call")
+    dispatch.add_argument("--workload", required=True,
+                          help="named grid from repro.experiments.workloads.WORKLOADS")
+    dispatch.add_argument("--workload-args", default=None,
+                          help="JSON object of kwargs for the workload builder")
+    dispatch.add_argument("--shards", type=int, required=True,
+                          help="number of shards to dispatch")
+    dispatch.add_argument("--out-dir", required=True,
+                          help="directory for manifests and shard results")
+    dispatch.add_argument("--cache-dir", default=None,
+                          help="shared DiskStore directory every shard runner attaches")
+    dispatch.add_argument("--executor", default=None, choices=EXECUTORS,
+                          help="engine executor forwarded to every shard runner")
+    dispatch.add_argument("--workers", type=int, default=None,
+                          help="worker count forwarded to every shard runner")
+    dispatch.add_argument("--chunk-size", type=int, default=None,
+                          help="chunk size forwarded to every shard runner")
+    dispatch.add_argument("--timeout", type=float, default=None,
+                          help="per-shard wall-clock budget per attempt (seconds)")
+    dispatch.add_argument("--max-retries", type=int, default=2,
+                          help="extra attempts per shard after the first")
+    dispatch.add_argument("--backoff", type=float, default=0.25,
+                          help="base retry backoff in seconds (doubles per retry)")
+    dispatch.add_argument("--bench-weights", default=None,
+                          help="BENCH_*.json whose per-label timings balance the plan")
+    dispatch.add_argument("--out", default=None,
+                          help="write the merged BatchResult JSON export here")
+    dispatch.add_argument("--fail-on-job-errors", action="store_true",
+                          help="exit 1 when any merged record has status 'failed'")
+    dispatch.set_defaults(handler=cmd_dispatch)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.batch.shard",
+        description=__doc__.splitlines()[0],
+    )
+    register_shard_commands(parser.add_subparsers(dest="command", required=True))
     return parser
 
 
 def main(argv: Optional[list[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
-    try:
-        return args.handler(args)
-    except ShardError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+    """Deprecated alias: forward to ``python -m repro shard ...``.
+
+    Kept so existing scripts and docs don't break; the umbrella CLI
+    (:mod:`repro.cli`) is the supported entry point.
+    """
+    print(
+        "warning: 'python -m repro.batch.shard' is deprecated; "
+        "use 'python -m repro shard' instead",
+        file=sys.stderr,
+    )
+    from repro.cli import main as cli_main
+
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    return cli_main(["shard", *arguments])
 
 
 if __name__ == "__main__":

@@ -76,6 +76,7 @@ __all__ = [
     "ShardResult",
     "job_fingerprint",
     "plan_fingerprint",
+    "plan_shards",
     "write_manifests",
     "load_manifest",
     "validate_manifest",
@@ -240,6 +241,58 @@ class ShardPlan:
             return self.assignments[self.job_ids.index(job_id)]
         except ValueError:
             raise ShardError(f"job id {job_id!r} is not part of this plan") from None
+
+
+def plan_shards(
+    jobs: Sequence[FitJob],
+    n_shards: int,
+    *,
+    weights: Optional[dict[str, float]] = None,
+) -> ShardPlan:
+    """Plan ``jobs`` onto ``n_shards`` shards, optionally runtime-weighted.
+
+    Without ``weights`` this is exactly :meth:`ShardPlan.from_jobs` -- the
+    hash-ordered contiguous split.  With ``weights`` (estimated cost per job
+    *label*, e.g. measured ``elapsed_seconds`` from a previous ``BENCH_*.json``
+    run) the assignment switches to deterministic longest-processing-time
+    greedy: jobs are ordered by descending cost (ties broken by content
+    fingerprint, then submission index) and each is placed on the currently
+    lightest shard (ties broken by shard index).  Labels absent from
+    ``weights`` cost the mean of the provided weights, so a partial benchmark
+    file still improves the balance of the jobs it covers.
+
+    Either way the plan carries the same :func:`plan_fingerprint` -- only the
+    ordered job ids and the shard count are pinned, not the assignment -- so
+    manifests, shard results and :func:`merge_shard_results` are oblivious to
+    how the balancing was done.
+    """
+    import heapq
+
+    if n_shards < 1:
+        raise ShardError(f"n_shards must be >= 1, got {n_shards}")
+    ids = tuple(job_fingerprint(job) for job in jobs)
+    if not weights:
+        return ShardPlan.from_job_ids(ids, n_shards)
+    for label, weight in weights.items():
+        if not (float(weight) >= 0.0):
+            raise ShardError(f"weight for {label!r} must be >= 0, got {weight!r}")
+    default = sum(float(w) for w in weights.values()) / len(weights)
+    costs = [float(weights.get(job.label, default)) for job in jobs]
+    order = sorted(range(len(jobs)),
+                   key=lambda index: (-costs[index], ids[index], index))
+    heap = [(0.0, shard) for shard in range(int(n_shards))]
+    heapq.heapify(heap)
+    assignments = [0] * len(jobs)
+    for index in order:
+        load, shard = heapq.heappop(heap)
+        assignments[index] = shard
+        heapq.heappush(heap, (load + costs[index], shard))
+    return ShardPlan(
+        n_shards=int(n_shards),
+        job_ids=ids,
+        assignments=tuple(assignments),
+        fingerprint=plan_fingerprint(ids, n_shards),
+    )
 
 
 # --------------------------------------------------------------------------- #

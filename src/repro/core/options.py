@@ -27,6 +27,9 @@ __all__ = [
     "VftiOptions",
     "RecursiveOptions",
     "canonical_token",
+    "parse_canonical_token",
+    "options_from_items",
+    "OPTION_TYPES",
 ]
 
 
@@ -67,6 +70,85 @@ def canonical_token(value) -> str:
         f"option value {value!r} of type {type(value).__name__} has no canonical "
         "serialization (live numpy.random.Generator seeds are deliberately rejected)"
     )
+
+
+def _scan_scalar(text: str, pos: int) -> int:
+    """Advance ``pos`` past a scalar token body (stops at ``,`` / ``]`` / end)."""
+    while pos < len(text) and text[pos] not in ",]":
+        pos += 1
+    return pos
+
+
+def _parse_token(text: str, pos: int):
+    """Recursive-descent parse of one canonical token starting at ``pos``."""
+    if text.startswith("none", pos):
+        return None, pos + 4
+    if text.startswith("bool:", pos):
+        for literal, value in (("True", True), ("False", False)):
+            if text.startswith(literal, pos + 5):
+                return value, pos + 5 + len(literal)
+        raise ValueError(f"malformed bool token at offset {pos}: {text[pos:pos + 16]!r}")
+    if text.startswith("int:", pos):
+        end = _scan_scalar(text, pos + 4)
+        return int(text[pos + 4:end]), end
+    if text.startswith("float:", pos):
+        end = _scan_scalar(text, pos + 6)
+        return float.fromhex(text[pos + 6:end]), end
+    if text.startswith("complex:", pos):
+        mid = _scan_scalar(text, pos + 8)
+        if mid >= len(text) or text[mid] != ",":
+            raise ValueError(f"malformed complex token at offset {pos}")
+        end = _scan_scalar(text, mid + 1)
+        return complex(float.fromhex(text[pos + 8:mid]), float.fromhex(text[mid + 1:end])), end
+    if text.startswith("str:", pos):
+        colon = text.find(":", pos + 4)
+        if colon < 0:
+            raise ValueError(f"malformed str token at offset {pos}")
+        length = int(text[pos + 4:colon])
+        start = colon + 1
+        if start + length > len(text):
+            raise ValueError(f"str token at offset {pos} claims {length} chars past the end")
+        return text[start:start + length], start + length
+    if text.startswith("seq:[", pos):
+        pos += 5
+        items = []
+        if pos < len(text) and text[pos] == "]":
+            return (), pos + 1
+        while True:
+            value, pos = _parse_token(text, pos)
+            items.append(value)
+            if pos >= len(text):
+                raise ValueError("unterminated seq token")
+            if text[pos] == ",":
+                pos += 1
+                continue
+            if text[pos] == "]":
+                return tuple(items), pos + 1
+            raise ValueError(f"unexpected character {text[pos]!r} inside seq token")
+    raise ValueError(f"unknown canonical token at offset {pos}: {text[pos:pos + 16]!r}")
+
+
+def parse_canonical_token(token: str):
+    """Decode one :func:`canonical_token` encoding back into its value.
+
+    The exact inverse of :func:`canonical_token` for every value that
+    encoding accepts, with one deliberate normalisation: sequences come back
+    as tuples (the encoding does not distinguish ``list`` / ``tuple`` /
+    1-D ``ndarray``, and tuples keep frozen options hashable).  This is what
+    lets a wire-format job spec -- a shard manifest or a ``repro.serve``
+    request -- rebuild the *identical* options object from its canonical
+    items instead of shipping pickles.
+
+    Raises
+    ------
+    ValueError
+        On malformed or trailing input; a truncated token never decodes
+        silently.
+    """
+    value, pos = _parse_token(str(token), 0)
+    if pos != len(token):
+        raise ValueError(f"trailing data after canonical token: {token[pos:]!r}")
+    return value
 
 
 @dataclass(frozen=True)
@@ -234,3 +316,57 @@ class RecursiveOptions(MftiOptions):
             raise ValueError(f"selection must be 'worst' or 'spread', got {self.selection!r}")
         if self.max_iterations < 1:
             raise ValueError("max_iterations must be >= 1")
+
+
+#: Options classes reconstructable from a wire-format ``{"type", "items"}``
+#: spec (shard manifests and the ``repro.serve`` protocol).  Every registered
+#: front-end's options type must be listed here for its jobs to travel.
+OPTION_TYPES: dict[str, type[InterpolationOptions]] = {
+    cls.__name__: cls
+    for cls in (InterpolationOptions, MftiOptions, VftiOptions, RecursiveOptions)
+}
+
+
+def options_from_items(type_name: str, items) -> InterpolationOptions:
+    """Rebuild an options object from its canonical ``(field, token)`` items.
+
+    The inverse of :meth:`InterpolationOptions.canonical_items`, used by every
+    wire format that describes a fit configuration textually (shard manifests,
+    ``repro.serve`` job specs): ``type_name`` selects the class from
+    :data:`OPTION_TYPES` and every item is decoded with
+    :func:`parse_canonical_token`.  The reconstruction is verified by
+    re-encoding -- the rebuilt object's :meth:`canonical_items` must reproduce
+    the input exactly, so any encoder/decoder drift fails loudly instead of
+    silently fitting a different configuration.
+
+    Raises
+    ------
+    ValueError
+        Unknown options type, unknown field, malformed token, or a rebuilt
+        object whose canonical items do not round-trip.
+    """
+    try:
+        cls = OPTION_TYPES[type_name]
+    except KeyError:
+        raise ValueError(
+            f"unknown options type {type_name!r}; known: {', '.join(sorted(OPTION_TYPES))}"
+        ) from None
+    field_names = {field.name for field in dataclasses.fields(cls)}
+    normalised = [(str(name), str(token)) for name, token in items]
+    kwargs = {}
+    for name, token in normalised:
+        if name not in field_names:
+            raise ValueError(f"{type_name} has no option field {name!r}")
+        if name in kwargs:
+            raise ValueError(f"option field {name!r} appears twice")
+        kwargs[name] = parse_canonical_token(token)
+    try:
+        options = cls(**kwargs)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"cannot rebuild {type_name} from canonical items: {exc}") from exc
+    if list(options.canonical_items()) != sorted(normalised):
+        raise ValueError(
+            f"rebuilt {type_name} does not round-trip its canonical items; "
+            "the options encoding drifted between writer and reader"
+        )
+    return options

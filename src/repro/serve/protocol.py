@@ -1,0 +1,299 @@
+"""The JSON wire format of the fit service.
+
+One design rule: **nothing travels that the cache layer cannot fingerprint.**
+Job specs reuse the canonical-options serialization of shard manifests
+(``{"type": <options class>, "items": [[field, token], ...]}`` with
+:func:`repro.core.options.canonical_token` encodings), datasets ship their
+raw arrays (dtype + shape + base64 payload, bitwise round-trip) alongside
+their :func:`~repro.cache.dataset_fingerprint`, and every decoded document is
+verified against its embedded fingerprint -- a client/server build skew that
+changes what a spec *means* fails loudly at decode time instead of silently
+fitting something else.
+
+Records travel without their numerical payloads (the model matrices stay on
+the server, exactly like :meth:`JobRecord.to_dict` excludes them); the scalar
+errors use exact ``float.hex`` tokens so a served record compares bitwise
+equal to its locally computed twin.
+"""
+
+from __future__ import annotations
+
+import base64
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.batch.jobs import FitJob, JobRecord
+from repro.batch.results import BatchResult
+from repro.batch.sharding import job_fingerprint
+from repro.cache.fingerprint import combined_fingerprint, dataset_fingerprint
+from repro.core.options import options_from_items
+from repro.data.dataset import FrequencyData
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "encode_dataset",
+    "decode_dataset",
+    "encode_job",
+    "decode_job",
+    "encode_record",
+    "decode_record",
+    "encode_batch",
+    "decode_batch",
+    "request_key",
+    "is_deduplicatable",
+]
+
+#: Bump whenever any wire document changes shape; client and server refuse to
+#: mix versions (the shard layer's schema discipline, applied to HTTP).
+PROTOCOL_VERSION = 1
+
+
+class ProtocolError(ValueError):
+    """A wire document failed validation (shape, fingerprint, version)."""
+
+
+# --------------------------------------------------------------------------- #
+# arrays and datasets
+# --------------------------------------------------------------------------- #
+def _array_spec(array: np.ndarray) -> dict[str, Any]:
+    """Bitwise-exact JSON encoding of one array (dtype + shape + base64 data)."""
+    contiguous = np.ascontiguousarray(array)
+    return {
+        "dtype": contiguous.dtype.str,
+        "shape": list(contiguous.shape),
+        "data": base64.b64encode(contiguous.tobytes()).decode("ascii"),
+    }
+
+
+def _array_from_spec(spec: dict[str, Any]) -> np.ndarray:
+    try:
+        dtype = np.dtype(spec["dtype"])
+        shape = tuple(int(n) for n in spec["shape"])
+        raw = base64.b64decode(spec["data"].encode("ascii"), validate=True)
+        return np.frombuffer(raw, dtype=dtype).reshape(shape)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed array spec: {exc}") from exc
+
+
+def encode_dataset(data: FrequencyData) -> dict[str, Any]:
+    """Encode one :class:`FrequencyData` (arrays + metadata + fingerprint)."""
+    return {
+        "kind": data.kind,
+        "reference_impedance": float(data.reference_impedance).hex(),
+        "label": data.label,
+        "frequencies_hz": _array_spec(data.frequencies_hz),
+        "samples": _array_spec(data.samples),
+        "fingerprint": dataset_fingerprint(data),
+    }
+
+
+def decode_dataset(spec: dict[str, Any]) -> FrequencyData:
+    """Rebuild a dataset and verify it against its embedded fingerprint."""
+    try:
+        data = FrequencyData(
+            _array_from_spec(spec["frequencies_hz"]),
+            _array_from_spec(spec["samples"]),
+            kind=spec["kind"],
+            reference_impedance=float.fromhex(spec["reference_impedance"]),
+            label=spec.get("label", ""),
+        )
+    except ProtocolError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed dataset spec: {exc}") from exc
+    expected = spec.get("fingerprint")
+    if expected is not None and dataset_fingerprint(data) != expected:
+        raise ProtocolError(
+            "decoded dataset does not match its embedded fingerprint; "
+            "the payload was corrupted in transit"
+        )
+    return data
+
+
+# --------------------------------------------------------------------------- #
+# jobs
+# --------------------------------------------------------------------------- #
+def encode_job(job: FitJob) -> dict[str, Any]:
+    """Encode one :class:`FitJob`, pinned by its shard-layer fingerprint.
+
+    The options travel in the same ``{"type", "items"}`` canonical form shard
+    manifests use, so HTTP, manifest and direct-Python paths all describe a
+    fit configuration with one :func:`~repro.core.options.canonical_token`
+    per field.
+    """
+    options = job.options
+    return {
+        "method": job.method,
+        "label": job.label,
+        "tags": dict(job.tags),
+        "options": (
+            None
+            if options is None
+            else {
+                "type": type(options).__name__,
+                "items": [list(item) for item in options.canonical_items()],
+            }
+        ),
+        "data": encode_dataset(job.data),
+        "reference": (
+            encode_dataset(job.reference) if job.reference is not None else None
+        ),
+        "job_id": job_fingerprint(job),
+    }
+
+
+def decode_job(spec: dict[str, Any]) -> FitJob:
+    """Rebuild a job and verify its :func:`~repro.batch.sharding.job_fingerprint`."""
+    try:
+        options_spec = spec.get("options")
+        job = FitJob(
+            decode_dataset(spec["data"]),
+            method=spec["method"],
+            options=(
+                None
+                if options_spec is None
+                else options_from_items(options_spec["type"], options_spec["items"])
+            ),
+            label=spec.get("label", ""),
+            tags=dict(spec.get("tags") or {}),
+            reference=(
+                decode_dataset(spec["reference"])
+                if spec.get("reference") is not None
+                else None
+            ),
+        )
+    except ProtocolError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed job spec: {exc}") from exc
+    expected = spec.get("job_id")
+    if expected is not None and job_fingerprint(job) != expected:
+        raise ProtocolError(
+            f"decoded job {job.label!r} does not match its embedded fingerprint; "
+            "client and server disagree on the job encoding"
+        )
+    return job
+
+
+def is_deduplicatable(job: FitJob) -> bool:
+    """Whether two content-identical submissions of ``job`` share one fit.
+
+    Mirrors the cache layer's nondeterminism rule: unseeded random tangential
+    directions make every execution a distinct draw, so such jobs must never
+    coalesce onto one computation.
+    """
+    options = job.options
+    return not (
+        getattr(options, "direction_kind", None) == "random"
+        and getattr(options, "direction_seed", None) is None
+    )
+
+
+def request_key(job: FitJob) -> str:
+    """In-flight dedupe key: what the *computation* depends on, nothing more.
+
+    Unlike :func:`~repro.batch.sharding.job_fingerprint` this excludes the
+    label and tags -- they only decorate the record, so two submissions that
+    differ cosmetically still await one fit.  Callers must check
+    :func:`is_deduplicatable` first; nondeterministic jobs have no stable key.
+    """
+    from repro.cache.fingerprint import options_fingerprint
+
+    return combined_fingerprint("serve-request", [
+        "data:" + dataset_fingerprint(job.data),
+        "method:" + str(job.method),
+        "options:" + options_fingerprint(job.method, job.options),
+        "reference:" + (
+            dataset_fingerprint(job.reference) if job.reference is not None else "none"
+        ),
+    ])
+
+
+# --------------------------------------------------------------------------- #
+# records and batches
+# --------------------------------------------------------------------------- #
+def _hex_or_none(value: Optional[float]) -> Optional[str]:
+    return None if value is None else float(value).hex()
+
+
+def _from_hex(token: Optional[str]) -> float:
+    return float("nan") if token is None else float.fromhex(str(token))
+
+
+def encode_record(record: JobRecord) -> dict[str, Any]:
+    """Encode one record without its numerical payload, scalars bit-exact."""
+    return {
+        "index": record.index,
+        "label": record.label,
+        "method": record.method,
+        "tags": dict(record.tags),
+        "status": record.status,
+        "order": record.order,
+        "elapsed_seconds": float(record.elapsed_seconds).hex(),
+        "error_vs_data": _hex_or_none(record.error_vs_data),
+        "error_vs_reference": _hex_or_none(record.error_vs_reference),
+        "cache_status": record.cache_status,
+        "error_type": record.error_type,
+        "error_message": record.error_message,
+    }
+
+
+def decode_record(spec: dict[str, Any]) -> JobRecord:
+    """Rebuild a served record (``result=None``: payloads stay on the server)."""
+    try:
+        return JobRecord(
+            index=int(spec["index"]),
+            label=spec["label"],
+            method=spec["method"],
+            tags=dict(spec.get("tags") or {}),
+            status=spec["status"],
+            result=None,
+            order=spec.get("order"),
+            elapsed_seconds=_from_hex(spec.get("elapsed_seconds")),
+            error_vs_data=_from_hex(spec.get("error_vs_data")),
+            error_vs_reference=_from_hex(spec.get("error_vs_reference")),
+            cache_status=spec.get("cache_status"),
+            error_type=spec.get("error_type"),
+            error_message=spec.get("error_message"),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed record spec: {exc}") from exc
+
+
+def encode_batch(jobs: list[FitJob]) -> dict[str, Any]:
+    """The ``POST /submit`` request body for a list of jobs."""
+    return {
+        "protocol_version": PROTOCOL_VERSION,
+        "jobs": [encode_job(job) for job in jobs],
+    }
+
+
+def decode_batch(document: dict[str, Any]) -> list[FitJob]:
+    """Validate and decode a ``POST /submit`` body into jobs."""
+    if not isinstance(document, dict):
+        raise ProtocolError("submit body must be a JSON object")
+    version = document.get("protocol_version")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"client speaks protocol {version!r}, this server speaks {PROTOCOL_VERSION}"
+        )
+    jobs_spec = document.get("jobs")
+    if not isinstance(jobs_spec, list) or not jobs_spec:
+        raise ProtocolError("submit body must carry a non-empty 'jobs' list")
+    return [decode_job(spec) for spec in jobs_spec]
+
+
+def records_to_batch_result(records: list[JobRecord]) -> BatchResult:
+    """Assemble served records into a client-side :class:`BatchResult`.
+
+    The execution envelope is a placeholder (``executor="serve"``) -- exactly
+    the fields :func:`~repro.batch.results.comparable_dict` normalises away,
+    so served results compare bit-identically to local runs.
+    """
+    ordered = tuple(sorted(records, key=lambda record: record.index))
+    return BatchResult(
+        records=ordered, executor="serve", n_workers=0, chunk_size=0,
+        wall_seconds=0.0,
+    )

@@ -1,0 +1,451 @@
+"""The serving layer's contract: protocol, service, dispatcher, CLI.
+
+Four layers of defence:
+
+* **wire-format round-trips** -- datasets, jobs and records must survive the
+  JSON protocol bitwise (fingerprint-verified), and every tamper path must
+  fail loudly (:class:`ProtocolError` / ``ValueError``), never decode to a
+  different fit;
+* the **differential guarantee** -- a batch submitted over a real localhost
+  socket must come back :func:`~repro.batch.results.comparable_json`-
+  identical to a local single-process :meth:`BatchEngine.run` of the same
+  jobs;
+* **service semantics** -- N concurrent identical submissions trigger
+  exactly one underlying fit (and N answers), nondeterministic jobs never
+  coalesce, and a batch that would overrun the admission bound is rejected
+  whole with :class:`Backpressure` while the server stays healthy;
+* the **dispatcher** -- an injected shard failure is retried and the merged
+  result is still bit-identical to the unsharded run; an exhausted retry
+  budget raises :class:`DispatchError`.
+
+The CLI consolidation rides along: the umbrella ``python -m repro shard``
+and the deprecated ``python -m repro.batch.shard`` alias (with its warning)
+are exercised as real subprocesses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import http.client
+import json
+import math
+import threading
+
+import numpy as np
+import pytest
+
+from repro.batch.engine import BatchEngine
+from repro.batch.jobs import FitJob, JobRecord
+from repro.batch.results import comparable_json
+from repro.batch.shard import cli_subprocess
+from repro.batch.sharding import ShardPlan, job_fingerprint, plan_shards
+from repro.cache import FitCache
+from repro.core.options import (
+    MftiOptions,
+    VftiOptions,
+    canonical_token,
+    options_from_items,
+    parse_canonical_token,
+)
+from repro.experiments.workloads import port_sweep_jobs
+from repro.serve.app import Backpressure, FitService, ThreadedServer
+from repro.serve.client import Client, ServeError
+from repro.serve.dispatcher import (
+    DispatchError,
+    Launcher,
+    SubprocessLauncher,
+    dispatch_workload,
+    runtime_weights,
+)
+from repro.serve.protocol import (
+    ProtocolError,
+    decode_dataset,
+    decode_job,
+    decode_record,
+    encode_dataset,
+    encode_job,
+    encode_record,
+    is_deduplicatable,
+    request_key,
+)
+
+#: Scaled-down port sweep: 4 jobs, small orders -- fast enough that the
+#: socket/dispatcher tests stay tier-1.  The kwargs use JSON-native lists so
+#: the very same dict drives the in-process builders and the CLI/manifest
+#: paths without tuple/list drift.
+GRID_KWARGS = dict(port_counts=[2], block_sizes=[1, 2], order=8,
+                   n_samples=10, n_validation=12)
+
+
+@pytest.fixture(scope="module")
+def grid_jobs():
+    return port_sweep_jobs(**GRID_KWARGS)
+
+
+@pytest.fixture(scope="module")
+def reference_run(grid_jobs):
+    """The local single-process run every served answer must match."""
+    result = BatchEngine().run(grid_jobs)
+    assert result.n_failed == 0, result.failures
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# canonical-token round-trip layer
+# --------------------------------------------------------------------------- #
+class TestCanonicalRoundTrip:
+    @pytest.mark.parametrize("value", [
+        None, True, False, 0, -17, 3.5, float("nan"), float("inf"),
+        complex(1.25, -2.5), "", "plain", "tricky,]:chars", "seq:[]",
+        (), (1, 2.5, "x"), (1, (2, (3,))),
+    ])
+    def test_token_round_trip(self, value):
+        decoded = parse_canonical_token(canonical_token(value))
+        if isinstance(value, float) and math.isnan(value):
+            assert math.isnan(decoded)
+        else:
+            assert decoded == value
+            assert type(decoded) is type(value)
+
+    @pytest.mark.parametrize("token", [
+        "bool:maybe", "int:", "float:xyz", "complex:0x1p+0", "str:5:ab",
+        "seq:[int:1", "int:1]", "none,extra", "wat:1",
+    ])
+    def test_malformed_tokens_rejected(self, token):
+        with pytest.raises(ValueError):
+            parse_canonical_token(token)
+
+    def test_options_round_trip_all_types(self):
+        options = MftiOptions(block_size=3, rank_method="tolerance",
+                              rank_tolerance=2e-4, direction_seed=7)
+        items = options.canonical_items()
+        rebuilt = options_from_items("MftiOptions", items)
+        assert rebuilt == options
+        # JSON transports items as lists -- must decode identically
+        json_items = json.loads(json.dumps([list(item) for item in items]))
+        assert options_from_items("MftiOptions", json_items) == options
+
+    def test_options_drift_guard(self):
+        items = [list(item) for item in VftiOptions().canonical_items()]
+        with pytest.raises(ValueError):
+            options_from_items("NoSuchOptions", items)
+        items[0][0] = "not_a_field"
+        with pytest.raises(ValueError, match="no option field"):
+            options_from_items("VftiOptions", items)
+
+
+class TestEngineConfig:
+    def test_round_trip(self, tmp_path):
+        engine = BatchEngine(executor="thread", max_workers=3, chunk_size=2,
+                             cache=FitCache.on_disk(tmp_path / "store"))
+        config = engine.to_config()
+        rebuilt = BatchEngine.from_config(config)
+        assert rebuilt.to_config() == config
+        assert (rebuilt.executor, rebuilt.max_workers, rebuilt.chunk_size) == \
+               ("thread", 3, 2)
+        assert rebuilt.cache.store.root == engine.cache.store.root
+
+    def test_memory_cache_and_defaults(self):
+        assert BatchEngine.from_config(None) == BatchEngine()
+        rebuilt = BatchEngine.from_config({"memory_cache": True})
+        assert rebuilt.cache is not None
+
+    def test_rejects_unknown_and_conflicting_keys(self):
+        with pytest.raises(ValueError, match="unknown engine config"):
+            BatchEngine.from_config({"executor": "serial", "bogus": 1})
+        with pytest.raises(ValueError, match="cache_dir and memory_cache"):
+            BatchEngine.from_config({"cache_dir": "/tmp/x", "memory_cache": True})
+
+
+# --------------------------------------------------------------------------- #
+# the wire protocol
+# --------------------------------------------------------------------------- #
+class TestProtocol:
+    def test_dataset_bitwise_round_trip(self, grid_jobs):
+        data = grid_jobs[0].data
+        spec = json.loads(json.dumps(encode_dataset(data)))
+        rebuilt = decode_dataset(spec)
+        assert np.array_equal(rebuilt.frequencies_hz, data.frequencies_hz)
+        assert np.array_equal(rebuilt.samples, data.samples)
+        assert rebuilt.samples.dtype == data.samples.dtype
+        assert (rebuilt.kind, rebuilt.reference_impedance, rebuilt.label) == \
+               (data.kind, data.reference_impedance, data.label)
+
+    def test_dataset_tamper_detected(self, grid_jobs):
+        spec = encode_dataset(grid_jobs[0].data)
+        spec["reference_impedance"] = float(75.0).hex()
+        with pytest.raises(ProtocolError, match="fingerprint"):
+            decode_dataset(spec)
+
+    def test_job_round_trip_preserves_fingerprint(self, grid_jobs):
+        for job in grid_jobs:
+            rebuilt = decode_job(json.loads(json.dumps(encode_job(job))))
+            assert job_fingerprint(rebuilt) == job_fingerprint(job)
+            assert rebuilt.tags == job.tags
+
+    def test_job_options_tamper_detected(self, grid_jobs):
+        job = grid_jobs[1]  # an mfti job with non-default options
+        spec = encode_job(job)
+        tampered = json.loads(json.dumps(spec))
+        for item in tampered["options"]["items"]:
+            if item[0] == "block_size":
+                item[1] = canonical_token(999)
+        with pytest.raises(ProtocolError, match="fingerprint"):
+            decode_job(tampered)
+
+    def test_record_round_trip_is_exact(self):
+        record = JobRecord(
+            index=3, label="x", method="mfti", tags={"a": 1}, status="ok",
+            order=17, elapsed_seconds=0.125,
+            error_vs_data=1.2345678901234567e-7,
+            error_vs_reference=float("nan"), cache_status="miss",
+        )
+        rebuilt = decode_record(json.loads(json.dumps(encode_record(record))))
+        assert rebuilt.error_vs_data == record.error_vs_data
+        assert math.isnan(rebuilt.error_vs_reference)
+        assert dataclasses.replace(rebuilt, error_vs_reference=0.0) == \
+               dataclasses.replace(record, result=None, error_vs_reference=0.0)
+
+    def test_request_key_ignores_cosmetics_but_not_content(self, grid_jobs):
+        job = grid_jobs[0]
+        relabelled = dataclasses.replace(job, label="other", tags={"new": "tag"})
+        assert request_key(relabelled) == request_key(job)
+        other_method = grid_jobs[1]
+        assert request_key(other_method) != request_key(job)
+
+    def test_nondeterministic_jobs_not_deduplicatable(self, grid_jobs):
+        assert is_deduplicatable(grid_jobs[0])
+        random_job = FitJob(grid_jobs[0].data, method="mfti",
+                            options=MftiOptions(direction_kind="random"))
+        assert not is_deduplicatable(random_job)
+        seeded = FitJob(grid_jobs[0].data, method="mfti",
+                        options=MftiOptions(direction_kind="random",
+                                            direction_seed=11))
+        assert is_deduplicatable(seeded)
+
+
+# --------------------------------------------------------------------------- #
+# weighted planning
+# --------------------------------------------------------------------------- #
+class TestWeightedPlanning:
+    def test_unweighted_matches_hash_ordered_plan(self, grid_jobs):
+        assert plan_shards(grid_jobs, 3) == ShardPlan.from_jobs(grid_jobs, 3)
+
+    def test_weighted_plan_is_merge_compatible_and_balanced(self, grid_jobs):
+        weights = {job.label: 1.0 for job in grid_jobs}
+        weights[grid_jobs[0].label] = 100.0  # one dominating job
+        plan = plan_shards(grid_jobs, 2, weights=weights)
+        assert plan.fingerprint == ShardPlan.from_jobs(grid_jobs, 2).fingerprint
+        covered = sorted(index for shard in range(2)
+                         for index in plan.indices_for(shard))
+        assert covered == list(range(len(grid_jobs)))
+        # LPT must isolate the dominating job on its own shard
+        heavy_shard = plan.assignments[0]
+        assert plan.indices_for(heavy_shard) == (0,)
+
+    def test_runtime_weights_reads_bench_export(self, tmp_path):
+        bench = tmp_path / "BENCH_batch_engine.json"
+        bench.write_text(json.dumps({
+            "benchmark": "batch_engine",
+            "jobs": [
+                {"label": "a", "elapsed_seconds": 2.0},
+                {"label": "a", "elapsed_seconds": 4.0},
+                {"label": "b", "elapsed_seconds": 1.0},
+                {"label": "broken", "elapsed_seconds": None},
+            ],
+        }))
+        assert runtime_weights(bench) == {"a": 3.0, "b": 1.0}
+        empty = tmp_path / "BENCH_empty.json"
+        empty.write_text(json.dumps({"benchmark": "empty"}))
+        assert runtime_weights(empty) == {}
+        with pytest.raises(DispatchError):
+            runtime_weights(tmp_path / "missing.json")
+
+
+# --------------------------------------------------------------------------- #
+# the service over a real socket
+# --------------------------------------------------------------------------- #
+class TestFitServer:
+    def test_served_batch_matches_local_run(self, grid_jobs, reference_run):
+        with ThreadedServer(FitService(BatchEngine(executor="thread",
+                                                   max_workers=2))) as server:
+            client = Client(server.host, server.port)
+            assert client.healthz()["status"] == "ok"
+            served = client.submit(grid_jobs)
+            stats = client.stats()
+        assert comparable_json(served) == comparable_json(reference_run)
+        assert all(record.result is None for record in served.records)
+        assert stats["counters"]["computed"] == len(grid_jobs)
+        assert stats["queue_depth"] == 0
+
+    def test_concurrent_identical_submissions_share_one_fit(self, grid_jobs):
+        job = grid_jobs[0]
+        with ThreadedServer(FitService(BatchEngine(executor="thread",
+                                                   max_workers=4))) as server:
+            client = Client(server.host, server.port)
+            results: list = [None] * 3
+
+            def submit_one(slot: int) -> None:
+                results[slot] = client.submit([job, job, job])
+
+            threads = [threading.Thread(target=submit_one, args=(slot,))
+                       for slot in range(3)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=300)
+            counters = client.stats()["counters"]
+        # 3 clients x 3 identical jobs: every submission answered...
+        for result in results:
+            assert result is not None and result.n_jobs == 3
+            assert [record.index for record in result.records] == [0, 1, 2]
+            assert all(record.ok for record in result.records)
+        # ...and at most a couple of underlying fits ran (exactly 1 unless a
+        # batch arrived after an earlier one fully completed); never 9
+        assert counters["submitted"] == 9
+        assert counters["computed"] + counters["coalesced"] == 9
+        assert counters["computed"] <= 3
+        # within one batch dedupe is deterministic: >= 2 coalesced per batch
+        assert counters["coalesced"] >= 6
+
+    def test_dedupe_rewrites_labels_per_request(self, grid_jobs):
+        job = grid_jobs[0]
+        twin = dataclasses.replace(job, label="twin", tags={"who": "twin"})
+        with ThreadedServer(FitService(BatchEngine())) as server:
+            result = Client(server.host, server.port).submit([job, twin])
+            counters = server.service.counters
+        assert counters["computed"] == 1 and counters["coalesced"] == 1
+        assert [record.label for record in result.records] == [job.label, "twin"]
+        assert result.records[1].tags == {"who": "twin"}
+        assert result.records[0].error_vs_data == result.records[1].error_vs_data
+
+    def test_nondeterministic_jobs_never_coalesce(self, grid_jobs):
+        job = FitJob(grid_jobs[0].data, method="mfti",
+                     options=MftiOptions(direction_kind="random"))
+        with ThreadedServer(FitService(BatchEngine())) as server:
+            result = Client(server.host, server.port).submit([job, job])
+            counters = server.service.counters
+        assert counters["computed"] == 2 and counters["coalesced"] == 0
+        assert result.n_jobs == 2
+
+    def test_backpressure_rejects_whole_batch(self, grid_jobs):
+        with ThreadedServer(FitService(BatchEngine(), max_pending=1)) as server:
+            client = Client(server.host, server.port)
+            with pytest.raises(Backpressure, match="admission queue full"):
+                client.submit(grid_jobs[:3])
+            stats = client.stats()
+            assert stats["counters"]["rejected"] == 3
+            assert stats["counters"]["computed"] == 0
+            # the server stays healthy: an admissible batch still succeeds
+            ok = client.submit([grid_jobs[0]])
+        assert ok.n_jobs == 1 and ok.records[0].ok
+
+    def test_malformed_submissions_rejected(self, grid_jobs):
+        with ThreadedServer(FitService(BatchEngine())) as server:
+            connection = http.client.HTTPConnection(server.host, server.port,
+                                                    timeout=30)
+            connection.request("POST", "/submit", body=b"not json",
+                               headers={"Content-Type": "application/json"})
+            response = connection.getresponse()
+            assert response.status == 400
+            response.read()
+            connection.close()
+            client = Client(server.host, server.port)
+            with pytest.raises(ServeError, match="404"):
+                client._request_json("GET", "/nonsense")
+            # wrong protocol version is refused, not misinterpreted
+            connection = http.client.HTTPConnection(server.host, server.port,
+                                                    timeout=30)
+            connection.request("POST", "/submit", body=json.dumps(
+                {"protocol_version": 999, "jobs": [{}]}).encode())
+            response = connection.getresponse()
+            assert response.status == 400
+            assert b"protocol" in response.read()
+            connection.close()
+
+
+# --------------------------------------------------------------------------- #
+# the dispatcher
+# --------------------------------------------------------------------------- #
+class FlakyLauncher(SubprocessLauncher):
+    """Kills the first attempt of shard 0; every other launch is real."""
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.injected = 0
+
+    def launch(self, shard_index, manifest_path, result_path, *, timeout=None):
+        if shard_index == 0 and self.injected == 0:
+            self.injected += 1
+            return "failed", "injected shard failure"
+        return super().launch(shard_index, manifest_path, result_path,
+                              timeout=timeout)
+
+
+class AlwaysLostLauncher(Launcher):
+    """Claims success but never writes a result (a vanished machine)."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def launch(self, shard_index, manifest_path, result_path, *, timeout=None):
+        self.calls += 1
+        return "ok", ""
+
+
+class TestDispatcher:
+    def test_retry_after_killed_shard_is_bit_identical(self, tmp_path,
+                                                       reference_run):
+        launcher = FlakyLauncher()
+        merged = dispatch_workload(
+            "port_sweep_jobs", 2, tmp_path,
+            workload_kwargs=GRID_KWARGS, launcher=launcher,
+            max_retries=1, backoff_seconds=0.01,
+        )
+        assert launcher.injected == 1
+        assert comparable_json(merged) == comparable_json(reference_run)
+        assert merged.executor == "sharded(2)"
+
+    def test_exhausted_retry_budget_raises(self, tmp_path, grid_jobs):
+        launcher = AlwaysLostLauncher()
+        with pytest.raises(DispatchError, match="failed after 2 attempt"):
+            dispatch_workload(
+                "port_sweep_jobs", 1, tmp_path,
+                workload_kwargs=GRID_KWARGS, launcher=launcher,
+                max_retries=1, backoff_seconds=0.01,
+            )
+        assert launcher.calls == 2
+
+    def test_launcher_stubs_fail_loudly(self):
+        from repro.serve.dispatcher import SlurmLauncher, SshLauncher
+
+        for stub in (SshLauncher(("host-a",)), SlurmLauncher()):
+            with pytest.raises(NotImplementedError):
+                stub.launch(0, "manifest.json", "result.npz")
+
+
+# --------------------------------------------------------------------------- #
+# CLI consolidation
+# --------------------------------------------------------------------------- #
+class TestCli:
+    def test_umbrella_shard_plan(self, tmp_path):
+        completed = cli_subprocess(
+            "shard", "plan", "--workload", "port_sweep_jobs",
+            "--workload-args", json.dumps(GRID_KWARGS),
+            "--shards", "2", "--out-dir", str(tmp_path),
+            module="repro",
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "deprecated" not in completed.stderr
+        assert len(list(tmp_path.glob("*.manifest.json"))) == 2
+
+    def test_deprecated_alias_still_works_with_warning(self, tmp_path):
+        completed = cli_subprocess(
+            "plan", "--workload", "port_sweep_jobs",
+            "--workload-args", json.dumps(GRID_KWARGS),
+            "--shards", "2", "--out-dir", str(tmp_path),
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "deprecated" in completed.stderr
+        assert "python -m repro shard" in completed.stderr
+        assert len(list(tmp_path.glob("*.manifest.json"))) == 2
