@@ -1,0 +1,128 @@
+"""Time-domain benchmark: batched spectral pathway vs the integrator loop.
+
+The spectral pathway (:mod:`repro.systems.spectral`) turns time-domain
+evaluation of a whole model population into one batched ``np.fft.irfft``:
+every model's transfer function is evaluated over the conjugate-symmetric
+rfft grid through the shared sweep kernel, the spectra are stacked and the
+entire stack is transformed at once.  The per-model alternative is the
+trapezoidal integrator (:mod:`repro.systems.timedomain`): one implicit
+solve per time step, per model, per input column.
+
+This module measures both on a population of banded random systems (band
+1e3 .. 1e5 Hz, so the time grid's Nyquist sits well above the dynamics --
+the regime the spectral pathway is documented for):
+
+* ``integrator`` -- per-model, per-input ``step_response`` loop,
+* ``spectral``   -- a single ``batch_time_responses`` call for the whole
+  population (impulse *and* step responses of every input/output pair).
+
+The acceptance floor (enforced here and by the CI perf gate through
+``benchmarks/baselines/timedomain.json``): the batched spectral pass is at
+least **10x** faster than the integrator loop while agreeing with it within
+the documented tolerance band (sup-normalized step difference below
+``5e-2``; the residual is the integrator's own accumulated phase error, see
+``tests/test_spectral.py``).  Results land in ``BENCH_timedomain.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.systems.random_systems import random_stable_system
+from repro.systems.spectral import build_spectral_grid, batch_time_responses
+from repro.systems.timedomain import step_response
+
+#: Required batched-spectral speedup over the per-model integrator loop.
+MIN_SPEEDUP = 10.0
+
+#: Documented FFT-vs-integrator agreement band (see tests/test_spectral.py:
+#: the residual is dominated by the integrator's per-step phase error).
+STEP_AGREEMENT_BAND = 5e-2
+
+#: Population of banded systems: dynamics inside 1e3 .. 1e5 Hz so the time
+#: grid resolves every resonance and the periodization tail has decayed.
+N_MODELS = 6
+ORDER = 20
+N_PORTS = 2
+T_FINAL = 2e-3
+N_POINTS = 8001
+OVERSAMPLE = 4
+
+
+def _population():
+    return [
+        random_stable_system(ORDER, N_PORTS, feedthrough=0.1,
+                             freq_min_hz=1e3, freq_max_hz=1e5,
+                             damping_min=0.1, seed=100 + index)
+        for index in range(N_MODELS)
+    ]
+
+
+def _timed(fn):
+    started = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - started
+
+
+def test_batched_spectral_beats_integrator_loop(benchmark, reportable,
+                                                json_reportable):
+    """One batched IFFT across the population >=10x the integrator loop."""
+    models = _population()
+    grid = build_spectral_grid(T_FINAL, N_POINTS, oversample=OVERSAMPLE)
+
+    def integrator_loop():
+        steps = np.empty((N_MODELS, N_POINTS, N_PORTS, N_PORTS))
+        for i, model in enumerate(models):
+            for j in range(N_PORTS):
+                _, out = step_response(model, T_FINAL, N_POINTS, input_index=j)
+                steps[i, :, :, j] = out
+        return steps
+
+    reference, loop_seconds = _timed(integrator_loop)
+    (_, spectral_step), spectral_seconds = _timed(
+        lambda: batch_time_responses(models, grid))
+
+    # agreement inside the documented band, per model (sup over the grid,
+    # normalized by the model's own step-response scale)
+    agreements = []
+    for i in range(N_MODELS):
+        scale = np.max(np.abs(reference[i]))
+        agreements.append(
+            float(np.max(np.abs(spectral_step[i] - reference[i])) / scale))
+    worst_agreement = max(agreements)
+    assert worst_agreement < STEP_AGREEMENT_BAND, (
+        f"spectral step drifted {worst_agreement:.2e} from the integrator "
+        f"(documented band: {STEP_AGREEMENT_BAND:.0e})"
+    )
+
+    speedup = loop_seconds / spectral_seconds
+    results = {
+        "n_models": N_MODELS,
+        "order": ORDER,
+        "n_ports": N_PORTS,
+        "n_points": N_POINTS,
+        "oversample": OVERSAMPLE,
+        "t_final": T_FINAL,
+        "integrator_seconds": loop_seconds,
+        "spectral_seconds": spectral_seconds,
+        "speedup": speedup,
+        "worst_step_agreement": worst_agreement,
+    }
+    reportable("timedomain.txt", "\n".join([
+        "time domain: batched spectral pathway vs per-model integrator loop",
+        f"population  {N_MODELS} models, order {ORDER}, {N_PORTS} ports, "
+        f"{N_POINTS} samples to t={T_FINAL:g}s",
+        f"integrator  {loop_seconds:7.3f}s   spectral {spectral_seconds:7.3f}s   "
+        f"({speedup:5.1f}x)   agree {worst_agreement:.1e}",
+    ]))
+    json_reportable("timedomain", results)
+    benchmark.extra_info["speedup"] = f"{speedup:.1f}x"
+    benchmark.pedantic(lambda: batch_time_responses(models, grid),
+                       rounds=3, iterations=1)
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"batched spectral pass only {speedup:.1f}x faster than the "
+        f"integrator loop (required: {MIN_SPEEDUP:.0f}x)"
+    )

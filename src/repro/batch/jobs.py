@@ -23,6 +23,7 @@ from repro.core._pipeline import frontend_spec, run_fit
 from repro.core.options import InterpolationOptions
 from repro.core.results import MacromodelResult
 from repro.data.dataset import FrequencyData
+from repro.metrics.timedomain import TimeDomainSpec, time_domain_metrics
 
 __all__ = ["FitJob", "JobRecord", "run_job"]
 
@@ -48,6 +49,10 @@ class FitJob:
     reference:
         Optional validation data; when given, the record includes the model's
         aggregate error against it.
+    time_domain:
+        Optional :class:`~repro.metrics.timedomain.TimeDomainSpec`; when given
+        (a reference is then required), the record carries the spectral
+        time-domain validation metrics computed worker-side.
     """
 
     data: FrequencyData
@@ -56,6 +61,7 @@ class FitJob:
     label: str = ""
     tags: dict[str, Any] = field(default_factory=dict)
     reference: Optional[FrequencyData] = None
+    time_domain: Optional[TimeDomainSpec] = None
 
     def __post_init__(self):
         spec = frontend_spec(self.method)  # raises on unknown method names
@@ -74,6 +80,17 @@ class FitJob:
                 "not a live numpy.random.Generator: shared generator state would "
                 "make results depend on the executor"
             )
+        if self.time_domain is not None:
+            if not isinstance(self.time_domain, TimeDomainSpec):
+                raise TypeError(
+                    f"time_domain must be a TimeDomainSpec, got "
+                    f"{type(self.time_domain).__name__}"
+                )
+            if self.reference is None:
+                raise ValueError(
+                    "time_domain metrics compare the model against validation "
+                    "data: a job with a time_domain spec needs a reference"
+                )
         if not self.label:
             suffix = f" [{self.data.label}]" if self.data.label else ""
             object.__setattr__(self, "label", f"{self.method}{suffix}")
@@ -105,6 +122,11 @@ class JobRecord:
     error_vs_reference:
         Aggregate error against ``job.reference`` (``nan`` when no reference
         was given or the job failed).
+    time_domain:
+        Spectral time-domain validation columns
+        (:data:`~repro.metrics.timedomain.TIME_DOMAIN_METRIC_KEYS`) when the
+        job carried a :class:`~repro.metrics.timedomain.TimeDomainSpec`;
+        empty otherwise (and on failure).
     cache_status:
         ``"hit"`` / ``"miss"`` / ``"skipped"`` when the batch ran with a
         :class:`~repro.cache.FitCache`, ``None`` otherwise.  Carried on the
@@ -127,6 +149,7 @@ class JobRecord:
     elapsed_seconds: float = 0.0
     error_vs_data: float = float("nan")
     error_vs_reference: float = float("nan")
+    time_domain: dict[str, float] = field(default_factory=dict)
     cache_status: Optional[str] = None
     error_type: Optional[str] = None
     error_message: Optional[str] = None
@@ -153,6 +176,7 @@ class JobRecord:
             "error_vs_reference": (
                 None if math.isnan(self.error_vs_reference) else self.error_vs_reference
             ),
+            "time_domain": dict(self.time_domain),
             "cache": self.cache_status,
             "error": (
                 None
@@ -199,6 +223,11 @@ def run_job(index: int, job: FitJob, cache=None) -> JobRecord:
                 if job.reference is not None
                 else float("nan")
             )
+        time_domain = (
+            time_domain_metrics(result.system, job.reference, job.time_domain)
+            if job.time_domain is not None
+            else {}
+        )
         return JobRecord(
             index=index,
             label=job.label,
@@ -210,6 +239,7 @@ def run_job(index: int, job: FitJob, cache=None) -> JobRecord:
             elapsed_seconds=time.perf_counter() - started,
             error_vs_data=error_vs_data,
             error_vs_reference=error_vs_reference,
+            time_domain=time_domain,
             cache_status=cache_status,
         )
     except Exception as exc:  # noqa: BLE001 - per-job isolation is the point

@@ -3,9 +3,10 @@
 The :class:`BatchResult` is the store every batch consumer works against: the
 benchmarks render its summary table, the CI artifact step serialises it with
 :meth:`BatchResult.save_json`, and sweep analyses filter records by tag.  The
-JSON schema (``schema_version`` 2: version 1 plus the cache hit/miss fields)
-is deliberately small and stable -- per-record scalars plus batch-level
-aggregates -- so perf-regression gates can diff exports across commits.
+JSON schema (``schema_version`` 3: version 2 plus the per-record
+``time_domain`` metric dict) is deliberately small and stable -- per-record
+scalars plus batch-level aggregates -- so perf-regression gates can diff
+exports across commits.
 """
 
 from __future__ import annotations
@@ -22,7 +23,7 @@ from repro.batch.jobs import JobRecord
 
 __all__ = ["BatchResult", "numerical_differences", "comparable_dict", "comparable_json"]
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 
 def _json_safe(value):
@@ -68,6 +69,10 @@ def numerical_differences(reference: "BatchResult", other: "BatchResult") -> lis
             err_a, err_b = getattr(a, field), getattr(b, field)
             if not (math.isnan(err_a) and math.isnan(err_b)) and err_a != err_b:
                 diffs.append(f"{a.label}: {field} {err_a!r} vs {err_b!r}")
+        if a.time_domain != b.time_domain:
+            diffs.append(
+                f"{a.label}: time_domain {a.time_domain!r} vs {b.time_domain!r}"
+            )
     return diffs
 
 
@@ -222,6 +227,7 @@ class BatchResult:
         from repro.experiments.reporting import format_table
 
         with_cache = self.used_cache
+        with_time_domain = any(record.time_domain for record in self.records)
         rows = []
         for record in self.records:
             row = [
@@ -235,6 +241,9 @@ class BatchResult:
                 if not math.isnan(record.error_vs_reference)
                 else "-",
             ]
+            if with_time_domain:
+                row.append(record.time_domain.get("impulse_l2", "-"))
+                row.append(record.time_domain.get("ringing_ratio", "-"))
             if with_cache:
                 row.append(record.cache_status or "-")
             rows.append(row)
@@ -244,6 +253,8 @@ class BatchResult:
             + (f", cache hits={self.n_cache_hits}/{self.n_jobs}" if with_cache else "")
         )
         columns = ["#", "job", "method", "status", "order", "time (s)", "error vs reference"]
+        if with_time_domain:
+            columns.extend(["impulse L2", "ringing"])
         if with_cache:
             columns.append("cache")
         return format_table(columns, rows, title=heading)

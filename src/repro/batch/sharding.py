@@ -145,6 +145,15 @@ def job_fingerprint(job: FitJob) -> str:
         "reference:" + (
             dataset_fingerprint(job.reference) if job.reference is not None else "none"
         ),
+        # appended only when set, so every pre-existing job keeps the
+        # fingerprint it had before time-domain specs existed
+        *(
+            ["timedomain:{"
+             + ",".join(f"{k}={v}" for k, v in job.time_domain.canonical_items())
+             + "}"]
+            if job.time_domain is not None
+            else []
+        ),
     ])
 
 
@@ -329,6 +338,9 @@ def _job_spec(index: int, job: FitJob, job_id: str) -> dict[str, Any]:
             "type": type(options).__name__,
             "items": [list(item) for item in options.canonical_items()],
         },
+        "time_domain": (
+            job.time_domain.to_dict() if job.time_domain is not None else None
+        ),
     }
 
 
@@ -508,6 +520,9 @@ def _record_meta(record: JobRecord) -> dict[str, Any]:
         "elapsed_seconds": record.elapsed_seconds,
         "error_vs_data": _hex_float(record.error_vs_data),
         "error_vs_reference": _hex_float(record.error_vs_reference),
+        "time_domain": {
+            key: _hex_float(value) for key, value in record.time_domain.items()
+        },
         "cache_status": record.cache_status,
         "error_type": record.error_type,
         "error_message": record.error_message,
@@ -619,6 +634,10 @@ def _record_from_meta(meta: dict[str, Any], arrays: dict[str, np.ndarray]) -> Jo
         elapsed_seconds=float(meta["elapsed_seconds"]),
         error_vs_data=float.fromhex(meta["error_vs_data"]),
         error_vs_reference=float.fromhex(meta["error_vs_reference"]),
+        time_domain={
+            key: float.fromhex(value)
+            for key, value in meta.get("time_domain", {}).items()
+        },
         cache_status=meta["cache_status"],
         error_type=meta["error_type"],
         error_message=meta["error_message"],

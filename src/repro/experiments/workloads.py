@@ -25,9 +25,10 @@ from repro.circuits.transmission_line import lumped_transmission_line
 from repro.core.options import MftiOptions, RecursiveOptions, VftiOptions
 from repro.data import add_measurement_noise, linear_frequencies, sample_scattering
 from repro.experiments.example2 import Example2Config, build_pdn_datasets
+from repro.metrics.timedomain import TimeDomainSpec
 
 __all__ = ["mixed_batch_jobs", "monte_carlo_jobs", "port_sweep_jobs",
-           "WORKLOADS", "workload_jobs"]
+           "time_domain_jobs", "WORKLOADS", "workload_jobs"]
 
 
 def mixed_batch_jobs(
@@ -247,6 +248,84 @@ def port_sweep_jobs(
     return jobs
 
 
+def time_domain_jobs(
+    *,
+    system_orders: tuple[int, ...] = (12, 20),
+    n_ports: int = 2,
+    methods: tuple[str, ...] = ("mfti", "vfti"),
+    n_samples: int = 60,
+    n_validation: int = 120,
+    f_min_hz: float = 1e2,
+    f_max_hz: float = 1e6,
+    noise_level: float = 1e-6,
+    base_seed: int = 700,
+    t_final: float = 2e-2,
+    time_points: int = 128,
+    oversample: int = 8,
+) -> list[FitJob]:
+    """Named time-domain validation grid over seeded random stable systems.
+
+    For every order in ``system_orders`` one seeded random stable system is
+    drawn (``seed = base_seed + order``), its lightly noised scattering sweep
+    is fitted with every method in ``methods``, and each job carries a clean
+    dense validation sweep **plus a** :class:`~repro.metrics.timedomain.
+    TimeDomainSpec` -- so every record comes back with the spectral-pathway
+    impulse/step error columns (:data:`~repro.metrics.timedomain.
+    TIME_DOMAIN_METRIC_KEYS`) filled in, computed worker-side through the
+    batched inverse-FFT path of :mod:`repro.systems.spectral`.
+
+    The horizon defaults (``t_final``, ``time_points``, ``oversample``) are
+    matched to the default band: ``t_final = 2e-2`` s covers many periods of
+    the slowest default dynamics while the FFT grid's Nyquist rate stays well
+    above ``f_max_hz``.  Tags: ``study="time-domain"``, ``order``, ``method``.
+    Deterministic by construction (seeded system and noise, scalar spec
+    kwargs), so the grid is shardable and cache-stable across rebuilds.
+    """
+    from repro.systems.random_systems import random_stable_system
+
+    if not system_orders:
+        raise ValueError("system_orders must name at least one model order")
+    if not methods:
+        raise ValueError("methods must name at least one registered front-end")
+    spec = TimeDomainSpec(t_final=t_final, n_points=time_points,
+                          oversample=oversample)
+
+    def options_for(method: str):
+        if method == "mfti":
+            return MftiOptions(block_size=2)
+        if method == "vfti":
+            return VftiOptions()
+        if method == "mfti-recursive":
+            return RecursiveOptions(block_size=2, samples_per_iteration=8,
+                                    initial_samples=16)
+        raise ValueError(f"no time-domain options preset for method {method!r}")
+
+    jobs: list[FitJob] = []
+    for order in system_orders:
+        seed = base_seed + order
+        system = random_stable_system(order=order, n_ports=n_ports,
+                                      feedthrough=0.1, seed=seed)
+        freqs = linear_frequencies(f_min_hz, f_max_hz, n_samples)
+        data = add_measurement_noise(
+            sample_scattering(system, freqs, label=f"time-domain n={order}"),
+            relative_level=noise_level, seed=seed)
+        reference = sample_scattering(
+            system, linear_frequencies(f_min_hz, f_max_hz, n_validation),
+            label=f"time-domain n={order} validation")
+        for method in methods:
+            jobs.append(FitJob(
+                data,
+                method=method,
+                options=options_for(method),
+                label=f"td/n{order}/{method}",
+                tags={"study": "time-domain", "order": order, "seed": seed,
+                      "method": method},
+                reference=reference,
+                time_domain=spec,
+            ))
+    return jobs
+
+
 #: The shardable named grids: every entry is deterministic for fixed kwargs,
 #: which is what lets a shard manifest reference jobs by (name, kwargs) and a
 #: worker machine rebuild them bit-exactly (``python -m repro.batch.shard``).
@@ -254,6 +333,7 @@ WORKLOADS: dict[str, Callable[..., list[FitJob]]] = {
     "mixed_batch_jobs": mixed_batch_jobs,
     "monte_carlo_jobs": monte_carlo_jobs,
     "port_sweep_jobs": port_sweep_jobs,
+    "time_domain_jobs": time_domain_jobs,
 }
 
 

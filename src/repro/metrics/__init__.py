@@ -15,6 +15,14 @@ from repro.metrics.errors import (
     model_errors,
     relative_error_per_frequency,
 )
+from repro.metrics.timedomain import (
+    TIME_DOMAIN_METRIC_KEYS,
+    TimeDomainSpec,
+    delay_estimate,
+    impulse_error_norms,
+    ringing_ratio,
+    time_domain_metrics,
+)
 from repro.metrics.validation import ValidationReport, validate_model
 
 __all__ = [
@@ -26,4 +34,10 @@ __all__ = [
     "model_aggregate_error",
     "ValidationReport",
     "validate_model",
+    "TimeDomainSpec",
+    "time_domain_metrics",
+    "impulse_error_norms",
+    "delay_estimate",
+    "ringing_ratio",
+    "TIME_DOMAIN_METRIC_KEYS",
 ]

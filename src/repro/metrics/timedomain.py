@@ -1,0 +1,234 @@
+"""Time-domain (transient) validation metrics for fitted macromodels.
+
+Frequency-domain error norms (:mod:`repro.metrics.errors`) say how well a
+model reproduces the measured sweep; the consumers of these macromodels run
+them in *time* (transient SI/PI simulation), where small frequency-domain
+errors can still show up as delay shifts or spurious ringing.  This module
+turns the batched spectral pathway (:mod:`repro.systems.spectral`) into
+first-class validation metrics:
+
+* the model is evaluated at the reference sweep's own (possibly non-uniform)
+  frequencies through the shared sweep kernel,
+* model samples and reference samples are gridded onto one FFT grid with the
+  *same* NUFFT-style kernel and band taper, so the comparison reflects
+  model-vs-data mismatch and not representation bandwidth,
+* one batched inverse FFT produces both impulse responses, and the metrics
+  below compare them.
+
+Metric columns (the keys of :func:`time_domain_metrics`, carried on
+:class:`~repro.batch.jobs.JobRecord` and exported by
+:class:`~repro.batch.results.BatchResult`):
+
+``impulse_l2`` / ``impulse_linf``
+    Relative L2 / sup Frobenius-norm error of the impulse response (the
+    ``t = 0`` half-jump sample is excluded; see :mod:`repro.systems.spectral`).
+``step_l2``
+    Relative L2 error of the step response (feed-through included).
+``delay_seconds`` / ``delay_error_seconds``
+    Energy-based delay estimate of the model's impulse (earliest time the
+    cumulative Frobenius energy crosses one half) and its absolute deviation
+    from the reference's delay.
+``ringing_ratio``
+    Residual ringing of the model's step response: the largest Frobenius
+    deviation from the final value over the last quarter of the horizon,
+    relative to the final-value norm.  A settled response is ~0; sustained
+    oscillation or instability pushes it up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.options import canonical_token
+from repro.data.dataset import FrequencyData
+from repro.systems.spectral import (
+    DEFAULT_OVERSAMPLE,
+    DEFAULT_TAPER_FRACTION,
+    DEFAULT_WINDOW,
+    SpectralGrid,
+    build_spectral_grid,
+    grid_nonuniform_spectrum,
+    impulse_from_spectrum,
+    spectral_window,
+    step_from_impulse,
+)
+
+__all__ = [
+    "TimeDomainSpec",
+    "time_domain_metrics",
+    "impulse_error_norms",
+    "delay_estimate",
+    "ringing_ratio",
+    "TIME_DOMAIN_METRIC_KEYS",
+]
+
+#: The metric columns :func:`time_domain_metrics` produces, in export order.
+TIME_DOMAIN_METRIC_KEYS = (
+    "impulse_l2",
+    "impulse_linf",
+    "step_l2",
+    "delay_seconds",
+    "delay_error_seconds",
+    "ringing_ratio",
+)
+
+#: Fraction of the horizon (from the end) over which residual ringing of the
+#: step response is measured.
+_RINGING_TAIL_FRACTION = 0.25
+
+
+@dataclass(frozen=True)
+class TimeDomainSpec:
+    """Configuration of one time-domain validation (JSON-safe, fingerprintable).
+
+    Attributes
+    ----------
+    t_final:
+        End of the simulated horizon, in seconds.
+    n_points:
+        Number of output time samples.
+    oversample:
+        FFT periodization factor (:func:`~repro.systems.spectral.build_spectral_grid`).
+    window:
+        Spectral window of the transform (``"lanczos"`` or ``"none"``).
+    taper_fraction:
+        Band-edge roll-off of the gridding step
+        (:func:`~repro.systems.spectral.grid_nonuniform_spectrum`).
+    """
+
+    t_final: float
+    n_points: int = 128
+    oversample: int = DEFAULT_OVERSAMPLE
+    window: str = DEFAULT_WINDOW
+    taper_fraction: float = DEFAULT_TAPER_FRACTION
+
+    def __post_init__(self):
+        if self.t_final <= 0:
+            raise ValueError("t_final must be positive")
+        if int(self.n_points) != self.n_points or self.n_points < 2:
+            raise ValueError(f"n_points must be an integer >= 2, got {self.n_points!r}")
+        if int(self.oversample) != self.oversample or self.oversample < 1:
+            raise ValueError(f"oversample must be an integer >= 1, got {self.oversample!r}")
+        if not 0.0 <= self.taper_fraction < 1.0:
+            raise ValueError(f"taper_fraction must lie in [0, 1), got {self.taper_fraction}")
+        object.__setattr__(self, "t_final", float(self.t_final))
+        object.__setattr__(self, "n_points", int(self.n_points))
+        object.__setattr__(self, "oversample", int(self.oversample))
+
+    def build_grid(self) -> SpectralGrid:
+        """The spectral grid this spec describes."""
+        return build_spectral_grid(self.t_final, self.n_points, oversample=self.oversample)
+
+    def to_dict(self) -> dict:
+        """JSON-safe field dict (workload kwargs, wire protocol)."""
+        return {
+            "t_final": self.t_final,
+            "n_points": self.n_points,
+            "oversample": self.oversample,
+            "window": self.window,
+            "taper_fraction": self.taper_fraction,
+        }
+
+    def canonical_items(self) -> list[tuple[str, str]]:
+        """Exact-token field encoding (the options convention), for fingerprints."""
+        return [(key, canonical_token(value)) for key, value in sorted(self.to_dict().items())]
+
+
+def _frobenius_per_sample(responses: np.ndarray) -> np.ndarray:
+    """Frobenius norm of every ``(p, m)`` slice along the time axis."""
+    return np.linalg.norm(responses.reshape(responses.shape[0], -1), axis=1)
+
+
+def impulse_error_norms(
+    impulse: np.ndarray, reference: np.ndarray, *, skip: int = 1
+) -> dict[str, float]:
+    """Relative L2 and sup errors between two impulse responses.
+
+    The first ``skip`` samples are excluded: the spectral pathway puts the
+    half-jump value at ``t = 0`` while integrators put their discrete-pulse
+    approximation there, so the initial sample compares two different (both
+    internally consistent) conventions.
+    """
+    if impulse.shape != reference.shape:
+        raise ValueError(f"impulse shapes differ: {impulse.shape} vs {reference.shape}")
+    diff = _frobenius_per_sample(impulse[skip:] - reference[skip:])
+    scale = _frobenius_per_sample(reference[skip:])
+    tiny = float(np.finfo(float).tiny)
+    l2 = float(np.linalg.norm(diff) / max(np.linalg.norm(scale), tiny))
+    linf = float(np.max(diff) / max(np.max(scale), tiny))
+    return {"impulse_l2": l2, "impulse_linf": linf}
+
+
+def delay_estimate(time: np.ndarray, impulse: np.ndarray) -> float:
+    """Energy-based delay: earliest time cumulative impulse energy crosses 1/2.
+
+    Uses the Frobenius norm over all (output, input) pairs, so one number
+    summarises a MIMO response.  A response concentrated at the start gives
+    ~0; a transport-delay-like response gives the delay of its energy bulk.
+    """
+    energy = _frobenius_per_sample(np.asarray(impulse)) ** 2
+    total = float(np.sum(energy))
+    if total <= 0.0:
+        return 0.0
+    crossing = np.searchsorted(np.cumsum(energy), 0.5 * total)
+    return float(time[min(int(crossing), time.size - 1)])
+
+
+def ringing_ratio(step: np.ndarray) -> float:
+    """Residual ringing of a step response (tail deviation from final value).
+
+    The largest Frobenius deviation from the final sample over the last
+    quarter of the horizon, relative to the final value's norm.  ``0`` means
+    the response has settled inside the window.
+    """
+    step = np.asarray(step)
+    tail_start = int((1.0 - _RINGING_TAIL_FRACTION) * step.shape[0])
+    tail_start = min(max(tail_start, 0), step.shape[0] - 1)
+    final = step[-1]
+    deviation = _frobenius_per_sample(step[tail_start:] - final[np.newaxis])
+    tiny = float(np.finfo(float).tiny)
+    return float(np.max(deviation) / max(float(np.linalg.norm(final)), tiny))
+
+
+def time_domain_metrics(model, reference: FrequencyData, spec: TimeDomainSpec) -> dict[str, float]:
+    """The time-domain validation columns of one model vs one reference sweep.
+
+    Both the model (evaluated at the reference's frequencies through the
+    shared sweep kernel) and the reference samples go through the *same*
+    NUFFT-style gridding onto the spec's FFT grid, and one batched inverse
+    FFT produces both impulse responses -- so the metrics compare model
+    against data on equal footing, at spectral-pathway speed.
+
+    ``model`` is anything with ``frequency_response`` and a feed-through
+    (``D``/``d``): descriptor systems, pole-residue models.  Returns the
+    :data:`TIME_DOMAIN_METRIC_KEYS` dict.
+    """
+    from repro.systems.spectral import _feedthrough  # shared duck-typed accessor
+
+    grid = spec.build_grid()
+    freqs = np.asarray(reference.frequencies_hz, dtype=float).ravel()
+    model_samples = np.asarray(model.frequency_response(freqs))
+    feedthrough = _feedthrough(model)
+    def gridded(samples):
+        return grid_nonuniform_spectrum(
+            freqs, samples, grid, feedthrough=feedthrough, taper_fraction=spec.taper_fraction
+        )
+
+    spectra = np.stack([gridded(model_samples), gridded(reference.samples)])
+    spectra *= spectral_window(grid, spec.window)[:, np.newaxis, np.newaxis]
+    impulses = impulse_from_spectrum(spectra, grid)
+    steps = step_from_impulse(impulses, grid, feedthrough=feedthrough)
+
+    metrics = impulse_error_norms(impulses[0], impulses[1])
+    delay_model = delay_estimate(grid.time, impulses[0])
+    delay_reference = delay_estimate(grid.time, impulses[1])
+    diff = _frobenius_per_sample(steps[0] - steps[1])
+    scale = _frobenius_per_sample(steps[1])
+    tiny = float(np.finfo(float).tiny)
+    metrics["step_l2"] = float(np.linalg.norm(diff) / max(np.linalg.norm(scale), tiny))
+    metrics["delay_seconds"] = delay_model
+    metrics["delay_error_seconds"] = abs(delay_model - delay_reference)
+    metrics["ringing_ratio"] = ringing_ratio(steps[0])
+    return metrics

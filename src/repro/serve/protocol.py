@@ -29,6 +29,7 @@ from repro.batch.sharding import job_fingerprint
 from repro.cache.fingerprint import combined_fingerprint, dataset_fingerprint
 from repro.core.options import options_from_items
 from repro.data.dataset import FrequencyData
+from repro.metrics.timedomain import TimeDomainSpec
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -140,6 +141,9 @@ def encode_job(job: FitJob) -> dict[str, Any]:
         "reference": (
             encode_dataset(job.reference) if job.reference is not None else None
         ),
+        "time_domain": (
+            job.time_domain.to_dict() if job.time_domain is not None else None
+        ),
         "job_id": job_fingerprint(job),
     }
 
@@ -161,6 +165,11 @@ def decode_job(spec: dict[str, Any]) -> FitJob:
             reference=(
                 decode_dataset(spec["reference"])
                 if spec.get("reference") is not None
+                else None
+            ),
+            time_domain=(
+                TimeDomainSpec(**spec["time_domain"])
+                if spec.get("time_domain") is not None
                 else None
             ),
         )
@@ -208,6 +217,15 @@ def request_key(job: FitJob) -> str:
         "reference:" + (
             dataset_fingerprint(job.reference) if job.reference is not None else "none"
         ),
+        # appended only when set: the spec changes the record's time-domain
+        # columns, so jobs differing only in it must not share a computation
+        *(
+            ["timedomain:{"
+             + ",".join(f"{k}={v}" for k, v in job.time_domain.canonical_items())
+             + "}"]
+            if job.time_domain is not None
+            else []
+        ),
     ])
 
 
@@ -234,6 +252,9 @@ def encode_record(record: JobRecord) -> dict[str, Any]:
         "elapsed_seconds": float(record.elapsed_seconds).hex(),
         "error_vs_data": _hex_or_none(record.error_vs_data),
         "error_vs_reference": _hex_or_none(record.error_vs_reference),
+        "time_domain": {
+            key: float(value).hex() for key, value in record.time_domain.items()
+        },
         "cache_status": record.cache_status,
         "error_type": record.error_type,
         "error_message": record.error_message,
@@ -254,6 +275,10 @@ def decode_record(spec: dict[str, Any]) -> JobRecord:
             elapsed_seconds=_from_hex(spec.get("elapsed_seconds")),
             error_vs_data=_from_hex(spec.get("error_vs_data")),
             error_vs_reference=_from_hex(spec.get("error_vs_reference")),
+            time_domain={
+                key: float.fromhex(str(value))
+                for key, value in (spec.get("time_domain") or {}).items()
+            },
             cache_status=spec.get("cache_status"),
             error_type=spec.get("error_type"),
             error_message=spec.get("error_message"),

@@ -14,7 +14,9 @@ with possibly singular ``E`` (a *descriptor system*, DS).  It provides
 * system analysis (poles, stability, controllability/observability Gramians,
   Hankel singular values) in :mod:`repro.systems.analysis`,
 * balanced truncation for reference reductions in :mod:`repro.systems.balanced`,
-* time-domain simulation in :mod:`repro.systems.timedomain`,
+* time-domain simulation in :mod:`repro.systems.timedomain` (per-step
+  trapezoidal integration) and the batched spectral (inverse-FFT) pathway in
+  :mod:`repro.systems.spectral`,
 * network-parameter conversions (impedance / admittance / scattering) in
   :mod:`repro.systems.interconnect`,
 * system interconnection (series / parallel / feedback) in
@@ -55,6 +57,14 @@ from repro.systems.random_systems import (
     random_port_map,
     random_stable_system,
 )
+from repro.systems.spectral import (
+    SpectralGrid,
+    batch_time_responses,
+    build_spectral_grid,
+    grid_nonuniform_spectrum,
+    spectral_impulse_response,
+    spectral_step_response,
+)
 from repro.systems.timedomain import impulse_response, simulate_lsim, step_response
 
 __all__ = [
@@ -88,4 +98,10 @@ __all__ = [
     "impulse_response",
     "step_response",
     "simulate_lsim",
+    "SpectralGrid",
+    "build_spectral_grid",
+    "spectral_impulse_response",
+    "spectral_step_response",
+    "batch_time_responses",
+    "grid_nonuniform_spectrum",
 ]

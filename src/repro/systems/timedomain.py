@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Optional
 
 import numpy as np
+from scipy.linalg import lu_factor, lu_solve
 
 from repro.systems.statespace import DescriptorSystem
 from repro.utils.validation import ensure_1d, ensure_2d
@@ -58,30 +59,43 @@ def simulate_lsim(
     if h <= 0 or not np.allclose(steps, h, rtol=1e-8, atol=0.0):
         raise ValueError("time grid must be uniformly spaced and increasing")
 
+    if np.iscomplexobj(inputs):
+        raise TypeError(
+            "inputs must be real-valued: the integrator simulates the real "
+            "time-domain system, and a silent complex->float cast would drop "
+            "the imaginary part"
+        )
     u = np.asarray(inputs, dtype=float)
     if u.ndim == 1:
         u = u.reshape(-1, 1)
     u = ensure_2d(u, "inputs")
     if u.shape != (time.size, system.n_inputs):
-        raise ValueError(
-            f"inputs must have shape {(time.size, system.n_inputs)}, got {u.shape}"
-        )
+        raise ValueError(f"inputs must have shape {(time.size, system.n_inputs)}, got {u.shape}")
 
     n = system.order
+    if x0 is not None and np.iscomplexobj(x0):
+        raise TypeError(
+            "x0 must be real-valued: a silent complex->float cast would drop "
+            "the imaginary part of the initial state"
+        )
     x = np.zeros(n) if x0 is None else ensure_1d(x0, "x0", dtype=float)
     if x.size != n:
         raise ValueError(f"x0 must have length {n}, got {x.size}")
 
-    e, a, b, c, d = (np.asarray(m, dtype=float) for m in
-                     (system.E, system.A, system.B, system.C, system.D))
+    e, a, b, c, d = (
+        np.asarray(m, dtype=float) for m in (system.E, system.A, system.B, system.C, system.D)
+    )
     left = e - 0.5 * h * a
     right = e + 0.5 * h * a
-    lu_piv = np.linalg.inv(left)  # dense solve reused every step
+    # one LU factorization reused every step: backward-stable where the
+    # explicit inverse (the former np.linalg.inv here) loses digits on
+    # ill-conditioned pencils E - (h/2) A
+    lu_piv = lu_factor(left)
     y = np.empty((time.size, system.n_outputs))
     y[0] = c @ x + d @ u[0]
     for k in range(time.size - 1):
         rhs = right @ x + 0.5 * h * b @ (u[k] + u[k + 1])
-        x = lu_piv @ rhs
+        x = lu_solve(lu_piv, rhs)
         y[k + 1] = c @ x + d @ u[k + 1]
     return y
 
@@ -104,6 +118,8 @@ def impulse_response(
     """
     if t_final <= 0:
         raise ValueError("t_final must be positive")
+    if n_points < 2:
+        raise ValueError(f"n_points must be at least 2 to span a time grid, got {n_points}")
     if not 0 <= input_index < system.n_inputs:
         raise ValueError(f"input_index must lie in [0, {system.n_inputs})")
     time = np.linspace(0.0, float(t_final), int(n_points))
@@ -126,6 +142,8 @@ def step_response(
     """
     if t_final <= 0:
         raise ValueError("t_final must be positive")
+    if n_points < 2:
+        raise ValueError(f"n_points must be at least 2 to span a time grid, got {n_points}")
     if not 0 <= input_index < system.n_inputs:
         raise ValueError(f"input_index must lie in [0, {system.n_inputs})")
     time = np.linspace(0.0, float(t_final), int(n_points))

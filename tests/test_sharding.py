@@ -24,6 +24,7 @@ import dataclasses
 import json
 import os
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -51,7 +52,8 @@ from repro.batch.sharding import manifest_name, validate_manifest
 from repro.cache import FitCache
 from repro.core.options import MftiOptions
 from repro.data import linear_frequencies, sample_scattering
-from repro.experiments.workloads import mixed_batch_jobs
+from repro.experiments.workloads import mixed_batch_jobs, time_domain_jobs
+from repro.metrics import TIME_DOMAIN_METRIC_KEYS
 from repro.systems.random_systems import random_stable_system
 
 #: Scaled-down mixed grid: fast enough for tier 1, same 8-job structure as
@@ -482,3 +484,55 @@ class TestShardedRunsMatchUnsharded:
         missing = run_cli("run", str(tmp_path / "no-such.manifest.json"))
         assert missing.returncode == 2
         assert "cannot read manifest" in missing.stderr
+
+
+class TestTimeDomainJobsThroughShards:
+    """``time_domain_jobs`` end-to-end: BatchEngine + shard merge must carry
+    the per-record ``time_domain`` metric dicts bitwise-reproducibly."""
+
+    #: Scaled-down time-domain grid: one order, both fit methods.
+    TD_KWARGS = dict(system_orders=(12,), methods=("vfti", "mfti"),
+                     n_samples=40, n_validation=60, time_points=64,
+                     oversample=4)
+
+    @pytest.fixture(scope="class")
+    def td_jobs(self):
+        return time_domain_jobs(**self.TD_KWARGS)
+
+    @pytest.fixture(scope="class")
+    def td_reference(self, td_jobs):
+        result = BatchEngine().run(td_jobs)
+        assert result.n_failed == 0, result.failures
+        return result
+
+    def test_records_carry_time_domain_metrics(self, td_reference):
+        for record in td_reference.records:
+            assert set(record.time_domain) == set(TIME_DOMAIN_METRIC_KEYS)
+            assert all(np.isfinite(v) for v in record.time_domain.values())
+        table = normalized(td_reference).summary_table(title="td")
+        assert "impulse L2" in table and "ringing" in table
+
+    def test_two_shard_merge_is_bitwise_identical(self, td_reference, td_jobs,
+                                                  tmp_path):
+        plan = ShardPlan.from_jobs(td_jobs, 2)
+        paths = write_manifests(plan, td_jobs, tmp_path,
+                                workload="time_domain_jobs",
+                                workload_kwargs=self.TD_KWARGS)
+        shard_files = []
+        for path in paths:
+            manifest = load_manifest(path)
+            result = run_shard(manifest, td_jobs)
+            shard_files.append(write_shard_result(
+                path.replace(".manifest.json", ".result.npz"), manifest, result))
+        merged = merge_shard_results(shard_files)
+        assert_identical(td_reference, merged)
+        # the npz round trip preserved the metric dicts exactly (hex floats)
+        for ref, got in zip(td_reference.records, merged.records):
+            assert ref.time_domain == got.time_domain
+
+    def test_time_domain_spec_separates_fingerprints(self, td_jobs):
+        """A job with a spec must never share a fingerprint with the same
+        job without one -- the cache would otherwise serve stale records."""
+        with_spec = td_jobs[0]
+        without_spec = dataclasses.replace(with_spec, time_domain=None)
+        assert job_fingerprint(with_spec) != job_fingerprint(without_spec)

@@ -2,6 +2,7 @@
 
 import numpy as np
 import pytest
+from scipy.linalg import hilbert
 
 from repro.systems.statespace import DescriptorSystem, StateSpace
 from repro.systems.timedomain import impulse_response, simulate_lsim, step_response
@@ -84,3 +85,76 @@ class TestValidation:
             step_response(lowpass, t_final=0.0)
         with pytest.raises(ValueError):
             step_response(lowpass, t_final=1.0, input_index=-1)
+
+    @pytest.mark.parametrize("response", [impulse_response, step_response])
+    def test_single_point_grid_rejected_up_front(self, lowpass, response):
+        # n_points=1 used to build a one-point grid and die later inside
+        # simulate_lsim with an unrelated "time grid" error
+        with pytest.raises(ValueError, match="n_points must be at least 2"):
+            response(lowpass, t_final=1.0, n_points=1)
+
+    def test_complex_inputs_rejected(self, lowpass):
+        # a silent complex -> float cast used to drop the imaginary part
+        time = np.linspace(0.0, 1.0, 5)
+        with pytest.raises(TypeError, match="inputs must be real-valued"):
+            simulate_lsim(lowpass, np.ones((5, 1), dtype=complex), time)
+
+    def test_complex_initial_state_rejected(self, lowpass):
+        time = np.linspace(0.0, 1.0, 5)
+        with pytest.raises(TypeError, match="x0 must be real-valued"):
+            simulate_lsim(lowpass, np.zeros((5, 1)), time,
+                          x0=np.array([1.0 + 1.0j]))
+
+
+class TestIllConditionedPencil:
+    """Regression for the explicit-inverse hot-loop bug (`lu_piv = inv(left)`).
+
+    With an ill-conditioned ``E - (h/2) A`` pencil, multiplying by the
+    explicit inverse loses roughly ``cond(left) * eps`` digits per step while
+    the LU-factored solve stays backward stable (residual ~ ``eps``).  The
+    system below is engineered so the pencil *is* a Hilbert matrix
+    (``E = H + (h/2) I``, ``A = -I``), whose condition number at order 10 is
+    ~``1e13``.
+    """
+
+    ORDER = 10
+    H_STEP = 0.1
+
+    def _system_and_left(self):
+        left = hilbert(self.ORDER)
+        a = -np.eye(self.ORDER)
+        e = left - 0.5 * self.H_STEP * np.eye(self.ORDER)
+        b = np.ones((self.ORDER, 1))
+        c = np.eye(self.ORDER)  # expose the full state as outputs
+        return DescriptorSystem(e, a, b, c), left
+
+    def test_factored_solve_keeps_residual_at_roundoff(self):
+        system, left = self._system_and_left()
+        e, a, b = (np.asarray(m, float) for m in (system.E, system.A, system.B))
+        right = e + 0.5 * self.H_STEP * a
+        time = self.H_STEP * np.arange(6)
+        rng = np.random.default_rng(7)
+        u = rng.standard_normal((time.size, 1))
+        states = simulate_lsim(system, u, time)  # C = I: outputs are states
+        scale = np.linalg.norm(left, 2)
+        for k in range(time.size - 1):
+            rhs = right @ states[k] + 0.5 * self.H_STEP * b @ (u[k] + u[k + 1])
+            residual = np.linalg.norm(left @ states[k + 1] - rhs)
+            # backward-stable solve: residual at roundoff level regardless of
+            # cond(left); the former inverse-multiply sat ~1e9 above this
+            assert residual <= 1e-12 * max(scale * np.linalg.norm(states[k + 1]), 1.0)
+
+    def test_explicit_inverse_would_fail_this_bound(self):
+        """The bound above genuinely discriminates: the old code's
+        inverse-multiply violates it on the same step."""
+        system, left = self._system_and_left()
+        e, a, b = (np.asarray(m, float) for m in (system.E, system.A, system.B))
+        right = e + 0.5 * self.H_STEP * a
+        rng = np.random.default_rng(7)
+        u = rng.standard_normal((2, 1))
+        x0 = np.zeros(self.ORDER)
+        rhs = right @ x0 + 0.5 * self.H_STEP * b @ (u[0] + u[1])
+        x_inv = np.linalg.inv(left) @ rhs  # the buggy path, reproduced inline
+        residual = np.linalg.norm(left @ x_inv - rhs)
+        scale = np.linalg.norm(left, 2)
+        assert residual > 1e-12 * max(scale * np.linalg.norm(x_inv), 1.0)

@@ -8,9 +8,12 @@ from repro.metrics import aggregate_error
 from repro.systems.random_systems import random_stable_system
 from repro.vectorfitting.fitting import vector_fit
 from repro.vectorfitting.passivity import (
+    immittance_margins,
     is_passive_immittance,
     is_passive_scattering,
     passivity_violations,
+    passivity_violations_reference,
+    scattering_margins,
 )
 from repro.vectorfitting.poles import initial_poles
 from repro.vectorfitting.rational import PoleResidueModel
@@ -173,3 +176,58 @@ class TestPassivity:
         model = PoleResidueModel(np.array([-1.0]), np.ones((1, 1, 1)))
         with pytest.raises(ValueError):
             passivity_violations(model, [1.0], representation="T")
+        with pytest.raises(ValueError):
+            passivity_violations_reference(model, [1.0], representation="T")
+
+
+class TestBatchedPassivityKernel:
+    """The stacked SVD / eigvalsh path against the per-frequency oracle."""
+
+    def _mimo_model(self, seed=0, n_ports=3):
+        system = random_stable_system(order=12, n_ports=n_ports,
+                                      feedthrough=0.4, seed=seed)
+        return system
+
+    @pytest.mark.parametrize("representation", ["S", "Z"])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_violations_match_reference_loop(self, representation, seed):
+        model = self._mimo_model(seed=seed)
+        freqs = np.logspace(0, 6, 80)
+        fast = passivity_violations(model, freqs, representation=representation,
+                                    tolerance=1e-8)
+        slow = passivity_violations_reference(model, freqs,
+                                              representation=representation,
+                                              tolerance=1e-8)
+        assert len(fast) == len(slow)
+        for a, b in zip(fast, slow):
+            assert a.frequency_hz == b.frequency_hz
+            assert a.metric == pytest.approx(b.metric, rel=1e-12, abs=1e-14)
+
+    def test_scattering_margins_match_per_matrix_norms(self):
+        model = self._mimo_model(seed=5)
+        freqs = np.logspace(0, 6, 40)
+        response = np.asarray(model.frequency_response(freqs))
+        margins = scattering_margins(response)
+        expected = np.array([np.linalg.norm(matrix, 2) for matrix in response])
+        np.testing.assert_allclose(margins, expected, rtol=1e-12)
+
+    def test_immittance_margins_match_per_matrix_eigs(self):
+        model = self._mimo_model(seed=6)
+        freqs = np.logspace(0, 6, 40)
+        response = np.asarray(model.frequency_response(freqs))
+        margins = immittance_margins(response)
+        expected = np.array([
+            np.min(np.linalg.eigvalsh(0.5 * (matrix + matrix.conj().T)))
+            for matrix in response
+        ])
+        np.testing.assert_allclose(margins, expected, rtol=1e-12, atol=1e-14)
+
+    def test_empty_sweep(self):
+        assert scattering_margins(np.empty((0, 2, 2))).size == 0
+        assert immittance_margins(np.empty((0, 2, 2))).size == 0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            scattering_margins(np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            immittance_margins(np.ones((3, 2, 3)))  # non-square
