@@ -39,7 +39,10 @@ Usage::
 
 With a directory argument every baseline is checked against its matching
 ``BENCH_<benchmark>.json`` (a missing report fails unless
-``--allow-missing``); exports without a baseline are listed as unchecked.
+``--allow-missing``); exports without a baseline fail with the baseline
+path that would gate them (``--allow-unchecked`` downgrades that to a
+note), and a baseline file without a ``benchmark`` key is reported by path
+instead of crashing the gate.
 The machine-readable diff (``--report``, default ``PERF_DIFF.json`` next to
 the exports) records every rule with its measured value and verdict and is
 uploaded as a CI artifact alongside the raw ``BENCH_*.json`` files.
@@ -148,7 +151,8 @@ def load_json(path: str) -> dict:
         return json.load(handle)
 
 
-def run(results: str, baseline_dir: str, *, allow_missing: bool = False) -> dict:
+def run(results: str, baseline_dir: str, *, allow_missing: bool = False,
+        allow_unchecked: bool = False) -> dict:
     """Check every applicable baseline; returns the diff-report document."""
     if os.path.isdir(results):
         exports = {}
@@ -159,12 +163,19 @@ def run(results: str, baseline_dir: str, *, allow_missing: bool = False) -> dict
         payload = load_json(results)
         exports = {payload.get("benchmark", os.path.basename(results)): (results, payload)}
 
+    checked, problems = [], []
     baselines = {}
     for path in sorted(glob.glob(os.path.join(baseline_dir, "*.json"))):
         baseline = load_json(path)
-        baselines[baseline["benchmark"]] = (path, baseline)
+        name = baseline.get("benchmark")
+        if not name:
+            # a KeyError here used to crash the whole gate; name the file so
+            # the broken baseline is fixable without reading a traceback
+            problems.append(f"baseline {path} names no benchmark "
+                            "(missing the 'benchmark' key)")
+            continue
+        baselines[name] = (path, baseline)
 
-    checked, problems = [], []
     for name, (baseline_path, baseline) in baselines.items():
         if name not in exports:
             if os.path.isdir(results) and not allow_missing:
@@ -183,6 +194,15 @@ def run(results: str, baseline_dir: str, *, allow_missing: bool = False) -> dict
                 )
                 problems.append(f"{name}: {detail}")
     unchecked = sorted(set(exports) - set(baselines))
+    if not allow_unchecked:
+        # an export nobody gates is a silently inert benchmark: fail it with
+        # the exact baseline path that would wire it up
+        for name in unchecked:
+            problems.append(
+                f"export {name!r} has no baseline: add "
+                f"{os.path.join(baseline_dir, name + '.json')} or pass "
+                "--allow-unchecked"
+            )
     return {
         "checked": checked,
         "unchecked_exports": unchecked,
@@ -203,9 +223,12 @@ def main(argv: list[str] | None = None) -> int:
                              "(default: PERF_DIFF.json next to the exports)")
     parser.add_argument("--allow-missing", action="store_true",
                         help="do not fail when a baseline has no matching export")
+    parser.add_argument("--allow-unchecked", action="store_true",
+                        help="do not fail when an export has no baseline")
     args = parser.parse_args(argv)
 
-    report = run(args.results, args.baselines, allow_missing=args.allow_missing)
+    report = run(args.results, args.baselines, allow_missing=args.allow_missing,
+                 allow_unchecked=args.allow_unchecked)
     report_path = args.report or os.path.join(
         args.results if os.path.isdir(args.results) else os.path.dirname(args.results),
         "PERF_DIFF.json",

@@ -1,0 +1,160 @@
+"""Pluggable array backends (`xp` shim) for the kernel modules.
+
+The three kernel modules (``systems/evaluation.py``, ``core/assembly.py``,
+``systems/spectral.py``) concentrate essentially all FLOPs of the
+reproduction into pure batched array ops.  This package makes the array
+library that executes them selectable:
+
+* ``numpy`` -- always available; adapters delegate *literally* to
+  ``numpy.linalg`` / ``numpy.fft`` / ``scipy.linalg`` so the call
+  sequence -- and therefore every result byte, golden fixture, cache
+  fingerprint, and shard merge -- is identical to the pre-shim code.
+* ``cupy`` / ``torch`` -- optional, import-guarded; probe them with
+  :func:`available_backends`.  Device results follow the device BLAS and
+  are tolerance-band territory, not bitwise-pinned.
+
+Selection precedence (first hit wins):
+
+1. explicit ``backend=`` kwarg on a kernel or :func:`use_backend` scope
+   (``BatchEngine``/``run_job`` install the engine's backend this way),
+2. the ``REPRO_ARRAY_BACKEND`` environment variable,
+3. ``numpy``.
+
+The backend is an *execution detail*: it never participates in dataset
+fingerprints, ``job_fingerprint``, or serve ``request_key``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import os
+from typing import Iterator, Optional, Tuple, Union
+
+from repro.backends.base import ArrayBackend
+
+__all__ = [
+    "ArrayBackend",
+    "BACKEND_NAMES",
+    "BackendUnavailableError",
+    "ENV_VARIABLE",
+    "available_backends",
+    "get_backend",
+    "resolve_backend",
+    "use_backend",
+]
+
+ENV_VARIABLE = "REPRO_ARRAY_BACKEND"
+
+BACKEND_NAMES: Tuple[str, ...] = ("numpy", "cupy", "torch")
+
+_FACTORY_MODULES = {
+    "numpy": "repro.backends.numpy_backend",
+    "cupy": "repro.backends.cupy_backend",
+    "torch": "repro.backends.torch_backend",
+}
+
+_instances: dict = {}
+_unavailable: dict = {}
+_active: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_array_backend", default=None
+)
+
+
+class BackendUnavailableError(RuntimeError):
+    """A known backend name whose library is not importable here."""
+
+
+def _load(name: str) -> ArrayBackend:
+    import importlib
+
+    module = importlib.import_module(_FACTORY_MODULES[name])
+    return module.make_backend()
+
+
+def get_backend(name: Optional[str] = None) -> ArrayBackend:
+    """Return the named backend, importing (and caching) it on first use.
+
+    ``None`` resolves through the active :func:`use_backend` scope, then
+    ``REPRO_ARRAY_BACKEND``, then ``numpy`` (see :func:`resolve_backend`).
+
+    Raises
+    ------
+    ValueError
+        For a name outside :data:`BACKEND_NAMES`.
+    BackendUnavailableError
+        For a known name whose library is not installed.
+    """
+    if name is None:
+        return resolve_backend(None)
+    if isinstance(name, ArrayBackend):
+        return name
+    if name not in _FACTORY_MODULES:
+        raise ValueError(
+            f"unknown array backend {name!r}; expected one of {BACKEND_NAMES}"
+        )
+    if name not in _instances:
+        if name in _unavailable:
+            raise BackendUnavailableError(_unavailable[name])
+        try:
+            _instances[name] = _load(name)
+        except ImportError as exc:
+            _unavailable[name] = (
+                f"array backend {name!r} is not available: {exc}. Install the "
+                f"library, or pick a backend from available_backends() "
+                f"(e.g. unset {ENV_VARIABLE})."
+            )
+            raise BackendUnavailableError(_unavailable[name]) from exc
+    return _instances[name]
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names from :data:`BACKEND_NAMES` whose libraries import here."""
+    names = []
+    for name in BACKEND_NAMES:
+        try:
+            get_backend(name)
+        except BackendUnavailableError:
+            continue
+        names.append(name)
+    return tuple(names)
+
+
+def resolve_backend(
+    backend: Union[ArrayBackend, str, None],
+) -> ArrayBackend:
+    """Resolve a kernel's ``backend=`` argument to an :class:`ArrayBackend`.
+
+    Precedence: explicit argument > active :func:`use_backend` scope >
+    ``REPRO_ARRAY_BACKEND`` environment variable > ``numpy``.
+    """
+    if isinstance(backend, ArrayBackend):
+        return backend
+    if backend is not None:
+        return get_backend(backend)
+    active = _active.get()
+    if active is not None:
+        return active
+    env = os.environ.get(ENV_VARIABLE)
+    if env:
+        return get_backend(env)
+    return get_backend("numpy")
+
+
+@contextlib.contextmanager
+def use_backend(backend: Union[ArrayBackend, str, None]) -> Iterator[ArrayBackend]:
+    """Scope in which kernels called without ``backend=`` use this backend.
+
+    ``None`` is a no-op scope (kernels keep resolving env-then-numpy),
+    which lets callers write ``with use_backend(maybe_none):`` without
+    branching.
+    """
+    if backend is None:
+        yield resolve_backend(None)
+        return
+    resolved = get_backend(backend) if isinstance(backend, str) else backend
+    token = _active.set(resolved)
+    try:
+        yield resolved
+    finally:
+        _active.reset(token)

@@ -28,6 +28,7 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
+from repro.backends import BACKEND_NAMES, ENV_VARIABLE
 from repro.batch.jobs import FitJob, JobRecord, run_job
 from repro.batch.results import BatchResult
 from repro.cache.fitcache import FitCache
@@ -52,9 +53,16 @@ def contiguous_chunks(items: Sequence, size: int) -> list[list]:
     return [list(items[start:start + size]) for start in range(0, len(items), size)]
 
 
-def _run_chunk(chunk: Sequence[tuple[int, FitJob]], cache=None) -> list[JobRecord]:
-    """Run one contiguous chunk of (index, job) pairs (worker-side entry point)."""
-    return [run_job(index, job, cache) for index, job in chunk]
+def _run_chunk(
+    chunk: Sequence[tuple[int, FitJob]], cache=None, backend=None
+) -> list[JobRecord]:
+    """Run one contiguous chunk of (index, job) pairs (worker-side entry point).
+
+    ``backend`` travels as a *name* (picklable for process workers) and is
+    installed per job by :func:`~repro.batch.jobs.run_job`, so thread/process
+    workers resolve it in their own context.
+    """
+    return [run_job(index, job, cache, backend=backend) for index, job in chunk]
 
 
 @dataclass(frozen=True)
@@ -79,12 +87,20 @@ class BatchEngine:
         :class:`~repro.cache.DiskStore`-backed cache with the ``process``
         executor (workers hold private copies of a memory store); per-job
         hit/miss statuses come back on the records either way.
+    backend:
+        Optional :mod:`repro.backends` array-backend name the kernel
+        modules run on while executing jobs (``"numpy"``, ``"cupy"``,
+        ``"torch"``).  ``None`` lets kernels resolve ``REPRO_ARRAY_BACKEND``
+        then ``numpy``.  The backend is an execution detail: it never enters
+        job fingerprints or serve request keys, and the ``numpy`` backend is
+        bitwise-identical to not selecting one.
     """
 
     executor: str = "serial"
     max_workers: Optional[int] = None
     chunk_size: Optional[int] = None
     cache: Optional[FitCache] = None
+    backend: Optional[str] = None
 
     def __post_init__(self):
         if self.executor not in EXECUTORS:
@@ -93,6 +109,11 @@ class BatchEngine:
             raise ValueError("max_workers must be >= 1 when given")
         if self.chunk_size is not None and self.chunk_size < 1:
             raise ValueError("chunk_size must be >= 1 when given")
+        if self.backend is not None and self.backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"backend must be one of {BACKEND_NAMES} when given, "
+                f"got {self.backend!r}"
+            )
 
     @classmethod
     def from_env(cls, default: str = "serial") -> "BatchEngine":
@@ -100,6 +121,7 @@ class BatchEngine:
 
         Lets benchmarks and scripts switch backend without code changes, e.g.
         ``REPRO_BATCH_EXECUTOR=process REPRO_BATCH_WORKERS=4 pytest benchmarks/``.
+        The array backend is likewise picked up from ``REPRO_ARRAY_BACKEND``.
         """
         def int_env(name: str):
             value = os.environ.get(name)
@@ -114,6 +136,7 @@ class BatchEngine:
             executor=os.environ.get("REPRO_BATCH_EXECUTOR", default),
             max_workers=int_env("REPRO_BATCH_WORKERS"),
             chunk_size=int_env("REPRO_BATCH_CHUNK"),
+            backend=os.environ.get(ENV_VARIABLE) or None,
         )
 
     @classmethod
@@ -121,7 +144,8 @@ class BatchEngine:
         """Build an engine from the flat config dict the serve protocol uses.
 
         Recognised keys (all optional): ``executor``, ``max_workers``,
-        ``chunk_size``, ``cache_dir`` (path -> disk-backed
+        ``chunk_size``, ``backend`` (array-backend name for the kernel
+        modules), ``cache_dir`` (path -> disk-backed
         :class:`~repro.cache.FitCache`) and ``memory_cache`` (bool -> fresh
         memory-backed cache).  The same dict configures the HTTP service, the
         shard dispatcher and direct-Python callers, so one engine description
@@ -133,7 +157,7 @@ class BatchEngine:
         if cache_dir is not None and memory_cache:
             raise ValueError("engine config cannot set both cache_dir and memory_cache")
         kwargs = {}
-        for key in ("executor", "max_workers", "chunk_size"):
+        for key in ("executor", "max_workers", "chunk_size", "backend"):
             if key in config:
                 kwargs[key] = config.pop(key)
         if config:
@@ -159,6 +183,8 @@ class BatchEngine:
             config["max_workers"] = self.max_workers
         if self.chunk_size is not None:
             config["chunk_size"] = self.chunk_size
+        if self.backend is not None:
+            config["backend"] = self.backend
         if self.cache is not None:
             store = self.cache.store
             if isinstance(store, MemoryStore):
@@ -241,11 +267,14 @@ class BatchEngine:
         chunks = self._chunks(job_list, index_list)
         cache = self._worker_cache()
         if self.executor == "serial":
-            chunk_records = [_run_chunk(chunk, cache) for chunk in chunks]
+            chunk_records = [_run_chunk(chunk, cache, self.backend) for chunk in chunks]
         else:
             pool_cls = ThreadPoolExecutor if self.executor == "thread" else ProcessPoolExecutor
             with pool_cls(max_workers=self.n_workers) as pool:
-                futures = [pool.submit(_run_chunk, chunk, cache) for chunk in chunks]
+                futures = [
+                    pool.submit(_run_chunk, chunk, cache, self.backend)
+                    for chunk in chunks
+                ]
                 chunk_records = [future.result() for future in futures]
         records = sorted(
             (record for chunk in chunk_records for record in chunk),

@@ -186,7 +186,7 @@ class JobRecord:
         }
 
 
-def run_job(index: int, job: FitJob, cache=None) -> JobRecord:
+def run_job(index: int, job: FitJob, cache=None, *, backend=None) -> JobRecord:
     """Execute one job, capturing any exception into the returned record.
 
     This is a module-level function so the process backend can pickle it; it
@@ -194,40 +194,49 @@ def run_job(index: int, job: FitJob, cache=None) -> JobRecord:
     a :class:`~repro.cache.FitCache` the fit dispatches through the cached
     path and the record carries the per-job hit/miss status; a failing job
     never populates the cache.
+
+    ``backend`` installs a :func:`repro.backends.use_backend` scope around
+    the job's execution so every kernel call resolves it without signature
+    changes in the fit front-ends; an unavailable backend fails the job
+    (captured in the record) rather than the batch.  The backend never
+    enters the job fingerprint: it is an execution detail.
     """
+    from repro.backends import use_backend
+
     started = time.perf_counter()
     cache_status: Optional[str] = None
     try:
-        fit_key: Optional[str] = None
-        if cache is not None:
-            from repro.cache.fitcache import fit_with_cache
+        with use_backend(backend):
+            fit_key: Optional[str] = None
+            if cache is not None:
+                from repro.cache.fitcache import fit_with_cache
 
-            result, cache_status, fit_key = fit_with_cache(
-                job.data, method=job.method, options=job.options, cache=cache
+                result, cache_status, fit_key = fit_with_cache(
+                    job.data, method=job.method, options=job.options, cache=cache
+                )
+            else:
+                result = run_fit(job.data, method=job.method, options=job.options)
+            if fit_key is not None:
+                # memoized evaluations: on warm sweeps the error evaluations
+                # dominate the wall clock, not the (skipped) fits
+                error_vs_data = cache.cached_aggregate_error(fit_key, result, job.data)
+                error_vs_reference = (
+                    cache.cached_aggregate_error(fit_key, result, job.reference)
+                    if job.reference is not None
+                    else float("nan")
+                )
+            else:
+                error_vs_data = result.aggregate_error(job.data)
+                error_vs_reference = (
+                    result.aggregate_error(job.reference)
+                    if job.reference is not None
+                    else float("nan")
+                )
+            time_domain = (
+                time_domain_metrics(result.system, job.reference, job.time_domain)
+                if job.time_domain is not None
+                else {}
             )
-        else:
-            result = run_fit(job.data, method=job.method, options=job.options)
-        if fit_key is not None:
-            # memoized evaluations: on warm sweeps the error evaluations
-            # dominate the wall clock, not the (skipped) fits
-            error_vs_data = cache.cached_aggregate_error(fit_key, result, job.data)
-            error_vs_reference = (
-                cache.cached_aggregate_error(fit_key, result, job.reference)
-                if job.reference is not None
-                else float("nan")
-            )
-        else:
-            error_vs_data = result.aggregate_error(job.data)
-            error_vs_reference = (
-                result.aggregate_error(job.reference)
-                if job.reference is not None
-                else float("nan")
-            )
-        time_domain = (
-            time_domain_metrics(result.system, job.reference, job.time_domain)
-            if job.time_domain is not None
-            else {}
-        )
         return JobRecord(
             index=index,
             label=job.label,

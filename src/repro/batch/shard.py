@@ -44,6 +44,7 @@ import subprocess
 import sys
 from typing import Optional
 
+from repro.backends import BACKEND_NAMES
 from repro.batch.engine import EXECUTORS, BatchEngine
 from repro.batch.sharding import (
     ShardError,
@@ -146,6 +147,8 @@ def cmd_run(args: argparse.Namespace) -> int:
             overrides["max_workers"] = args.workers
         if args.chunk_size is not None:
             overrides["chunk_size"] = args.chunk_size
+        if args.backend is not None:
+            overrides["backend"] = args.backend
         if overrides:
             engine = dataclasses.replace(engine, **overrides)
     except ValueError as exc:
@@ -190,7 +193,8 @@ def cmd_dispatch(args: argparse.Namespace) -> int:
         workload_kwargs=_workload_kwargs(args.workload_args),
         cache_dir=args.cache_dir,
         launcher=SubprocessLauncher(executor=args.executor, workers=args.workers,
-                                    chunk_size=args.chunk_size),
+                                    chunk_size=args.chunk_size,
+                                    backend=args.backend),
         timeout=args.timeout,
         max_retries=args.max_retries,
         backoff_seconds=args.backoff,
@@ -242,6 +246,9 @@ def register_shard_commands(commands) -> None:
     run.add_argument("--chunk-size", type=int, default=None,
                      help="jobs per engine chunk "
                           "(default: REPRO_BATCH_CHUNK or automatic)")
+    run.add_argument("--backend", default=None, choices=BACKEND_NAMES,
+                     help="array backend for the kernel modules "
+                          "(default: REPRO_ARRAY_BACKEND or numpy)")
     run.add_argument("--out", default=None,
                      help="shard result path (default: next to the manifest)")
     run.set_defaults(handler=cmd_run)
@@ -275,6 +282,8 @@ def register_shard_commands(commands) -> None:
                           help="worker count forwarded to every shard runner")
     dispatch.add_argument("--chunk-size", type=int, default=None,
                           help="chunk size forwarded to every shard runner")
+    dispatch.add_argument("--backend", default=None, choices=BACKEND_NAMES,
+                          help="array backend forwarded to every shard runner")
     dispatch.add_argument("--timeout", type=float, default=None,
                           help="per-shard wall-clock budget per attempt (seconds)")
     dispatch.add_argument("--max-retries", type=int, default=2,

@@ -39,6 +39,7 @@ import json
 import sys
 from typing import Optional
 
+from repro.backends import BACKEND_NAMES
 from repro.batch.engine import EXECUTORS, BatchEngine
 from repro.batch.sharding import ShardError
 
@@ -54,6 +55,8 @@ def _engine_config_from_args(args: argparse.Namespace) -> dict:
         config["max_workers"] = args.workers
     if getattr(args, "chunk_size", None) is not None:
         config["chunk_size"] = args.chunk_size
+    if getattr(args, "backend", None) is not None:
+        config["backend"] = args.backend
     if getattr(args, "cache_dir", None):
         config["cache_dir"] = args.cache_dir
     return config
@@ -67,6 +70,9 @@ def _add_engine_arguments(parser: argparse.ArgumentParser, *,
                         help="worker count for the pooled executors")
     parser.add_argument("--chunk-size", type=int, default=None,
                         help="jobs per engine chunk (default: automatic)")
+    parser.add_argument("--backend", default=None, choices=BACKEND_NAMES,
+                        help="array backend for the kernel modules "
+                             "(default: REPRO_ARRAY_BACKEND or numpy)")
     if with_cache:
         parser.add_argument("--cache-dir", default=None,
                             help="attach a disk-backed FitCache rooted here")
@@ -107,7 +113,7 @@ def cmd_fit(args: argparse.Namespace) -> int:
     from repro.batch.jobs import FitJob, run_job
 
     record = run_job(0, FitJob(data, method=args.method, options=options,
-                               reference=reference))
+                               reference=reference), backend=args.backend)
     if not record.ok:
         print(f"error: fit failed: {record.error_type}: {record.error_message}",
               file=sys.stderr)
@@ -194,6 +200,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="JSON object of options for the method")
     fit.add_argument("--reference", default=None,
                      help="optional validation Touchstone file")
+    fit.add_argument("--backend", default=None, choices=BACKEND_NAMES,
+                     help="array backend for the kernel modules "
+                          "(default: REPRO_ARRAY_BACKEND or numpy)")
     fit.set_defaults(handler=cmd_fit)
 
     batch = commands.add_parser(

@@ -31,6 +31,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import dataclasses
+import functools
 import json
 import threading
 from concurrent.futures import ThreadPoolExecutor
@@ -161,7 +162,12 @@ class FitService:
     async def _compute(self, job: FitJob) -> JobRecord:
         """Run one underlying fit on the thread pool (index rewritten later)."""
         loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(self._pool, run_job, 0, job, self.engine.cache)
+        return await loop.run_in_executor(
+            self._pool,
+            functools.partial(
+                run_job, 0, job, self.engine.cache, backend=self.engine.backend
+            ),
+        )
 
     async def _await_record(self, task: asyncio.Task, index: int, job: FitJob) -> JobRecord:
         """Await the (possibly shared) fit and re-address the record.

@@ -44,6 +44,8 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.backends import resolve_backend
+
 __all__ = [
     "SpectralGrid",
     "build_spectral_grid",
@@ -206,7 +208,7 @@ def _windowed(spectrum: np.ndarray, grid: SpectralGrid, window: str) -> np.ndarr
 
 
 def impulse_from_spectrum(
-    spectrum: np.ndarray, grid: SpectralGrid, *, crop: bool = True
+    spectrum: np.ndarray, grid: SpectralGrid, *, crop: bool = True, backend=None
 ) -> np.ndarray:
     """Inverse-transform rfft-grid spectra to impulse responses.
 
@@ -219,7 +221,13 @@ def impulse_from_spectrum(
     against the DFT's ``1 / N`` normalisation) and cropped to the grid's
     requested ``n_points`` unless ``crop=False`` (the Parseval identity of
     :func:`impulse_energy` needs the full periodization window).
+
+    The transform runs on the selected :mod:`repro.backends` backend
+    (``backend=`` or the active :func:`~repro.backends.use_backend`
+    scope); the ``numpy`` backend is the bitwise-pinned ``np.fft.irfft``
+    call this function always made.
     """
+    bk = resolve_backend(backend)
     spectrum = np.asarray(spectrum)
     n_freq = grid.n_fft // 2 + 1
     if spectrum.ndim < 3 or spectrum.shape[-3] != n_freq:
@@ -227,7 +235,8 @@ def impulse_from_spectrum(
             f"spectrum must have shape (..., {n_freq}, p, m) for n_fft={grid.n_fft}, "
             f"got {spectrum.shape}"
         )
-    impulse = np.fft.irfft(spectrum, n=grid.n_fft, axis=-3) / grid.dt
+    transformed = bk.irfft(bk.asarray(spectrum), n=grid.n_fft, axis=-3)
+    impulse = bk.to_numpy(transformed) / grid.dt
     if crop:
         n_out = grid.n_points
         impulse = impulse[..., :n_out, :, :]
@@ -304,6 +313,7 @@ def batch_time_responses(
     *,
     method: str = "auto",
     window: str = DEFAULT_WINDOW,
+    backend=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Impulse and step responses of many models through one batched IFFT.
 
@@ -326,7 +336,7 @@ def batch_time_responses(
     spectra = np.stack([evaluate_spectrum(model, grid, method=method) for model in models])
     spectra = _windowed(spectra, grid, window)
     feedthroughs = np.stack([_feedthrough(model) for model in models])
-    impulse = impulse_from_spectrum(spectra, grid)
+    impulse = impulse_from_spectrum(spectra, grid, backend=backend)
     step = step_from_impulse(impulse, grid) + feedthroughs[:, np.newaxis, :, :]
     return impulse, step
 

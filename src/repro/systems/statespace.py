@@ -25,6 +25,7 @@ from repro.systems.evaluation import (
     FAST_PATH_MIN_POINTS,
     build_evaluation_plan,
     evaluate_descriptor,
+    point_solve,
     verify_evaluation_plan,
 )
 from repro.utils.validation import check_finite, ensure_2d
@@ -191,12 +192,7 @@ class DescriptorSystem:
     # ------------------------------------------------------------------ #
     def transfer_function(self, s: complex) -> np.ndarray:
         """Evaluate ``H(s) = C (sE - A)^{-1} B + D`` at a single complex point."""
-        s = complex(s)
-        pencil = s * self._E - self._A
-        try:
-            x = np.linalg.solve(pencil, self._B.astype(complex))
-        except np.linalg.LinAlgError:
-            x = np.linalg.lstsq(pencil, self._B.astype(complex), rcond=None)[0]
+        x = point_solve(self._E, self._A, self._B.astype(complex), complex(s))
         return self._C @ x + self._D
 
     def __call__(self, s: complex) -> np.ndarray:

@@ -30,13 +30,14 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
+import scipy.linalg
 
 from repro.core.assembly import (
     PoleGrouping,
     partial_fraction_basis,
     relocation_matrices,
     residues_from_coefficients,
-    vf_scaling_blocks,
+    vf_scaling_solve,
 )
 from repro.data.dataset import FrequencyData
 from repro.utils.linalg import realify
@@ -102,6 +103,34 @@ def _relocate_poles(
     return sort_poles(new_poles)
 
 
+def _solve_residue_system(
+    phi1_real: np.ndarray,
+    responses_real: np.ndarray,
+    qr_factors: Optional[tuple[np.ndarray, np.ndarray]],
+) -> np.ndarray:
+    """LS coefficients of ``phi1_real @ coeffs ~= responses_real``.
+
+    When the caller already holds the (reduced) QR factors of
+    ``phi1_real`` -- :func:`vector_fit` computes them anyway for the
+    fast-VF projector -- the solve is just ``R^{-1} Q^T rhs``, skipping
+    the ``lstsq`` SVD re-factorisation (round-off-identical for a tall
+    full-rank basis; underdetermined systems -- more poles than realified
+    samples, where reduced ``R`` is not even square -- and an R-diagonal
+    rank guard fall back to ``lstsq``, preserving its minimum-norm
+    semantics).
+    """
+    rows, cols = phi1_real.shape
+    if qr_factors is not None and rows >= cols:
+        q1, r1 = qr_factors
+        diag = np.abs(np.diagonal(r1))
+        threshold = max(phi1_real.shape) * np.finfo(float).eps * (
+            diag.max() if diag.size else 0.0
+        )
+        if diag.size and diag.min() > threshold:
+            return scipy.linalg.solve_triangular(r1, q1.T @ responses_real)
+    return np.linalg.lstsq(phi1_real, responses_real, rcond=None)[0]
+
+
 def _fit_residues(
     phi1_real: np.ndarray,
     responses_real: np.ndarray,
@@ -109,9 +138,10 @@ def _fit_residues(
     grouping: PoleGrouping,
     shape: tuple[int, int],
     fit_constant: bool,
+    qr_factors: Optional[tuple[np.ndarray, np.ndarray]] = None,
 ) -> PoleResidueModel:
     """Identify residues (and the constant term) with the poles held fixed."""
-    coeffs, *_ = np.linalg.lstsq(phi1_real, responses_real, rcond=None)
+    coeffs = _solve_residue_system(phi1_real, responses_real, qr_factors)
     n = poles.size
     p, m = shape
     residues = residues_from_coefficients(coeffs, poles, grouping, (p, m))
@@ -186,9 +216,10 @@ def vector_fit(
         # orthogonal projector onto the complement of the per-entry basis
         q1, _ = np.linalg.qr(phi1_real)
 
-        # fast-VF projection of every matrix entry, batched in one kernel call
-        a_stacked, b_stacked = vf_scaling_blocks(phi, responses, q1)
-        c_tilde, *_ = np.linalg.lstsq(a_stacked, b_stacked, rcond=None)
+        # fast-VF projection + compact conditioned solve of every matrix
+        # entry, batched in one kernel call (falls back to the stacked
+        # lstsq reference on ill-conditioned bases)
+        c_tilde = vf_scaling_solve(phi, responses, q1)
 
         new_poles = _relocate_poles(poles, grouping, c_tilde,
                                     enforce_stability=enforce_stability)
@@ -206,7 +237,13 @@ def vector_fit(
     phi = partial_fraction_basis(s_points, poles, grouping)
     columns = [phi, np.ones((s_points.size, 1))] if fit_constant else [phi]
     phi1_real = realify(np.hstack(columns))
-    model = _fit_residues(phi1_real, responses_real, poles, grouping, (p, m), fit_constant)
+    # the residue solve reuses fresh QR factors of the final basis instead
+    # of re-factorising through lstsq (round-off-identical, rank-guarded)
+    q1, r1 = np.linalg.qr(phi1_real)
+    model = _fit_residues(
+        phi1_real, responses_real, poles, grouping, (p, m), fit_constant,
+        qr_factors=(q1, r1),
+    )
     elapsed = time.perf_counter() - started
     return VectorFitResult(
         model=model,

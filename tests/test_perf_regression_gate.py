@@ -103,12 +103,39 @@ class TestRun:
         results.mkdir()
         baselines.mkdir()
         self._write(results / "BENCH_demo.json", PAYLOAD)
-        self._write(results / "BENCH_orphan.json", {"benchmark": "orphan"})
         self._write(baselines / "demo.json",
                     {"benchmark": "demo", "rules": {"speedup": {"min": 5.0}}})
         report = gate.run(str(results), str(baselines))
         assert report["ok"]
+        assert report["unchecked_exports"] == []
+
+    def test_unchecked_export_fails_with_baseline_path(self, gate, tmp_path):
+        """An export nobody gates fails, naming the baseline that would fix it."""
+        results = tmp_path / "results"
+        baselines = tmp_path / "baselines"
+        results.mkdir()
+        baselines.mkdir()
+        self._write(results / "BENCH_orphan.json", {"benchmark": "orphan"})
+        report = gate.run(str(results), str(baselines))
+        assert not report["ok"]
         assert report["unchecked_exports"] == ["orphan"]
+        assert any("'orphan'" in problem and "orphan.json" in problem
+                   for problem in report["problems"])
+        relaxed = gate.run(str(results), str(baselines), allow_unchecked=True)
+        assert relaxed["ok"]
+        assert relaxed["unchecked_exports"] == ["orphan"]
+
+    def test_baseline_without_benchmark_key_reported_by_path(self, gate, tmp_path):
+        """A malformed baseline names its file instead of raising KeyError."""
+        results = tmp_path / "results"
+        baselines = tmp_path / "baselines"
+        results.mkdir()
+        baselines.mkdir()
+        self._write(baselines / "broken.json", {"rules": {"speedup": {"min": 5.0}}})
+        report = gate.run(str(results), str(baselines))
+        assert not report["ok"]
+        assert any("broken.json" in problem and "benchmark" in problem
+                   for problem in report["problems"])
 
     def test_missing_export_fails_unless_allowed(self, gate, tmp_path):
         results = tmp_path / "results"
