@@ -24,6 +24,7 @@ from repro.core.options import InterpolationOptions
 from repro.core.results import MacromodelResult
 from repro.data.dataset import FrequencyData
 from repro.metrics.timedomain import TimeDomainSpec, time_domain_metrics
+from repro.vectorfitting.enforcement import PassivitySpec, passivity_metrics
 
 __all__ = ["FitJob", "JobRecord", "run_job"]
 
@@ -53,6 +54,14 @@ class FitJob:
         Optional :class:`~repro.metrics.timedomain.TimeDomainSpec`; when given
         (a reference is then required), the record carries the spectral
         time-domain validation metrics computed worker-side.
+    passivity:
+        Optional :class:`~repro.vectorfitting.enforcement.PassivitySpec`;
+        when given (a reference is then required, for the certificate's
+        hold-out error delta), the fitted model is passivity-enforced
+        worker-side and the record carries the certificate columns.  A model
+        that cannot be certified fails the job loudly
+        (:class:`~repro.vectorfitting.enforcement.EnforcementFailed` in the
+        record) instead of emitting an uncertified row.
     """
 
     data: FrequencyData
@@ -62,6 +71,7 @@ class FitJob:
     tags: dict[str, Any] = field(default_factory=dict)
     reference: Optional[FrequencyData] = None
     time_domain: Optional[TimeDomainSpec] = None
+    passivity: Optional[PassivitySpec] = None
 
     def __post_init__(self):
         spec = frontend_spec(self.method)  # raises on unknown method names
@@ -90,6 +100,18 @@ class FitJob:
                 raise ValueError(
                     "time_domain metrics compare the model against validation "
                     "data: a job with a time_domain spec needs a reference"
+                )
+        if self.passivity is not None:
+            if not isinstance(self.passivity, PassivitySpec):
+                raise TypeError(
+                    f"passivity must be a PassivitySpec, got "
+                    f"{type(self.passivity).__name__}"
+                )
+            if self.reference is None:
+                raise ValueError(
+                    "the passivity certificate's error delta is measured "
+                    "against validation data: a job with a passivity spec "
+                    "needs a reference"
                 )
         if not self.label:
             suffix = f" [{self.data.label}]" if self.data.label else ""
@@ -127,6 +149,12 @@ class JobRecord:
         (:data:`~repro.metrics.timedomain.TIME_DOMAIN_METRIC_KEYS`) when the
         job carried a :class:`~repro.metrics.timedomain.TimeDomainSpec`;
         empty otherwise (and on failure).
+    passivity:
+        Passivity-certificate columns
+        (:data:`~repro.vectorfitting.enforcement.PASSIVITY_METRIC_KEYS`)
+        when the job carried a
+        :class:`~repro.vectorfitting.enforcement.PassivitySpec`; empty
+        otherwise (and on failure).
     cache_status:
         ``"hit"`` / ``"miss"`` / ``"skipped"`` when the batch ran with a
         :class:`~repro.cache.FitCache`, ``None`` otherwise.  Carried on the
@@ -150,6 +178,7 @@ class JobRecord:
     error_vs_data: float = float("nan")
     error_vs_reference: float = float("nan")
     time_domain: dict[str, float] = field(default_factory=dict)
+    passivity: dict[str, float] = field(default_factory=dict)
     cache_status: Optional[str] = None
     error_type: Optional[str] = None
     error_message: Optional[str] = None
@@ -177,6 +206,7 @@ class JobRecord:
                 None if math.isnan(self.error_vs_reference) else self.error_vs_reference
             ),
             "time_domain": dict(self.time_domain),
+            "passivity": dict(self.passivity),
             "cache": self.cache_status,
             "error": (
                 None
@@ -237,6 +267,13 @@ def run_job(index: int, job: FitJob, cache=None, *, backend=None) -> JobRecord:
                 if job.time_domain is not None
                 else {}
             )
+            passivity = (
+                passivity_metrics(
+                    result.system, job.data, job.passivity, reference=job.reference
+                )
+                if job.passivity is not None
+                else {}
+            )
         return JobRecord(
             index=index,
             label=job.label,
@@ -249,6 +286,7 @@ def run_job(index: int, job: FitJob, cache=None, *, backend=None) -> JobRecord:
             error_vs_data=error_vs_data,
             error_vs_reference=error_vs_reference,
             time_domain=time_domain,
+            passivity=passivity,
             cache_status=cache_status,
         )
     except Exception as exc:  # noqa: BLE001 - per-job isolation is the point

@@ -3,7 +3,8 @@
 The :class:`BatchResult` is the store every batch consumer works against: the
 benchmarks render its summary table, the CI artifact step serialises it with
 :meth:`BatchResult.save_json`, and sweep analyses filter records by tag.  The
-JSON schema (``schema_version`` 3: version 2 plus the per-record
+JSON schema (``schema_version`` 4: version 3 plus the per-record
+``passivity`` certificate dict; version 3 added the per-record
 ``time_domain`` metric dict) is deliberately small and stable -- per-record
 scalars plus batch-level aggregates -- so perf-regression gates can diff
 exports across commits.
@@ -23,7 +24,7 @@ from repro.batch.jobs import JobRecord
 
 __all__ = ["BatchResult", "numerical_differences", "comparable_dict", "comparable_json"]
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 
 def _json_safe(value):
@@ -72,6 +73,10 @@ def numerical_differences(reference: "BatchResult", other: "BatchResult") -> lis
         if a.time_domain != b.time_domain:
             diffs.append(
                 f"{a.label}: time_domain {a.time_domain!r} vs {b.time_domain!r}"
+            )
+        if a.passivity != b.passivity:
+            diffs.append(
+                f"{a.label}: passivity {a.passivity!r} vs {b.passivity!r}"
             )
     return diffs
 
@@ -228,6 +233,7 @@ class BatchResult:
 
         with_cache = self.used_cache
         with_time_domain = any(record.time_domain for record in self.records)
+        with_passivity = any(record.passivity for record in self.records)
         rows = []
         for record in self.records:
             row = [
@@ -244,6 +250,9 @@ class BatchResult:
             if with_time_domain:
                 row.append(record.time_domain.get("impulse_l2", "-"))
                 row.append(record.time_domain.get("ringing_ratio", "-"))
+            if with_passivity:
+                row.append(record.passivity.get("worst_margin", "-"))
+                row.append(record.passivity.get("perturbation_norm", "-"))
             if with_cache:
                 row.append(record.cache_status or "-")
             rows.append(row)
@@ -255,6 +264,8 @@ class BatchResult:
         columns = ["#", "job", "method", "status", "order", "time (s)", "error vs reference"]
         if with_time_domain:
             columns.extend(["impulse L2", "ringing"])
+        if with_passivity:
+            columns.extend(["passivity margin", "perturbation"])
         if with_cache:
             columns.append("cache")
         return format_table(columns, rows, title=heading)

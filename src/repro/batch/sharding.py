@@ -154,6 +154,14 @@ def job_fingerprint(job: FitJob) -> str:
             if job.time_domain is not None
             else []
         ),
+        # same append-only-when-set rule for the passivity spec
+        *(
+            ["passivity:{"
+             + ",".join(f"{k}={v}" for k, v in job.passivity.canonical_items())
+             + "}"]
+            if job.passivity is not None
+            else []
+        ),
     ])
 
 
@@ -341,6 +349,9 @@ def _job_spec(index: int, job: FitJob, job_id: str) -> dict[str, Any]:
         "time_domain": (
             job.time_domain.to_dict() if job.time_domain is not None else None
         ),
+        "passivity": (
+            job.passivity.to_dict() if job.passivity is not None else None
+        ),
     }
 
 
@@ -523,6 +534,9 @@ def _record_meta(record: JobRecord) -> dict[str, Any]:
         "time_domain": {
             key: _hex_float(value) for key, value in record.time_domain.items()
         },
+        "passivity": {
+            key: _hex_float(value) for key, value in record.passivity.items()
+        },
         "cache_status": record.cache_status,
         "error_type": record.error_type,
         "error_message": record.error_message,
@@ -637,6 +651,10 @@ def _record_from_meta(meta: dict[str, Any], arrays: dict[str, np.ndarray]) -> Jo
         time_domain={
             key: float.fromhex(value)
             for key, value in meta.get("time_domain", {}).items()
+        },
+        passivity={
+            key: float.fromhex(value)
+            for key, value in meta.get("passivity", {}).items()
         },
         cache_status=meta["cache_status"],
         error_type=meta["error_type"],

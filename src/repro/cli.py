@@ -110,10 +110,24 @@ def cmd_fit(args: argparse.Namespace) -> int:
         raise ShardError(
             f"invalid --options for method {args.method!r}: {exc}") from exc
 
+    passivity = None
+    if args.passivity is not None:
+        from repro.vectorfitting.enforcement import PassivitySpec
+
+        passivity_kwargs = _parse_json_object(args.passivity, "--passivity")
+        try:
+            passivity = PassivitySpec(**passivity_kwargs)
+        except (TypeError, ValueError) as exc:
+            raise ShardError(f"invalid --passivity spec: {exc}") from exc
+
     from repro.batch.jobs import FitJob, run_job
 
-    record = run_job(0, FitJob(data, method=args.method, options=options,
-                               reference=reference), backend=args.backend)
+    try:
+        job = FitJob(data, method=args.method, options=options,
+                     reference=reference, passivity=passivity)
+    except (TypeError, ValueError) as exc:
+        raise ShardError(f"invalid fit job: {exc}") from exc
+    record = run_job(0, job, backend=args.backend)
     if not record.ok:
         print(f"error: fit failed: {record.error_type}: {record.error_message}",
               file=sys.stderr)
@@ -123,6 +137,12 @@ def cmd_fit(args: argparse.Namespace) -> int:
           + (f", error vs reference={record.error_vs_reference:.3e}"
              if reference is not None else "")
           + f", {record.elapsed_seconds:.3f}s")
+    if record.passivity:
+        print("passivity certificate: "
+              f"margin={record.passivity['worst_margin']:.3e}, "
+              f"perturbation={record.passivity['perturbation_norm']:.3e}, "
+              f"iterations={record.passivity['iterations']:.0f}, "
+              f"error delta={record.passivity['error_delta']:.3e}")
     return 0
 
 
@@ -200,6 +220,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="JSON object of options for the method")
     fit.add_argument("--reference", default=None,
                      help="optional validation Touchstone file")
+    fit.add_argument("--passivity", default=None,
+                     help="JSON object of PassivitySpec fields ('{}' for the "
+                          "defaults): passivity-enforce the fitted model and "
+                          "print its certificate (requires --reference)")
     fit.add_argument("--backend", default=None, choices=BACKEND_NAMES,
                      help="array backend for the kernel modules "
                           "(default: REPRO_ARRAY_BACKEND or numpy)")

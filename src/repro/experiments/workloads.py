@@ -21,14 +21,22 @@ from typing import Callable
 from repro.batch.jobs import FitJob
 from repro.circuits.mna import netlist_to_descriptor
 from repro.circuits.pdn import PdnConfiguration, power_distribution_network
+from repro.circuits.rlc_networks import rlc_grid
 from repro.circuits.transmission_line import lumped_transmission_line
 from repro.core.options import MftiOptions, RecursiveOptions, VftiOptions
-from repro.data import add_measurement_noise, linear_frequencies, sample_scattering
+from repro.data import (
+    add_measurement_noise,
+    linear_frequencies,
+    sample_impedance,
+    sample_scattering,
+)
 from repro.experiments.example2 import Example2Config, build_pdn_datasets
 from repro.metrics.timedomain import TimeDomainSpec
+from repro.vectorfitting.enforcement import PassivitySpec
 
 __all__ = ["mixed_batch_jobs", "monte_carlo_jobs", "port_sweep_jobs",
-           "time_domain_jobs", "WORKLOADS", "workload_jobs"]
+           "time_domain_jobs", "passive_macromodel_jobs", "WORKLOADS",
+           "workload_jobs"]
 
 
 def mixed_batch_jobs(
@@ -326,6 +334,108 @@ def time_domain_jobs(
     return jobs
 
 
+def passive_macromodel_jobs(
+    *,
+    n_samples: int = 40,
+    n_validation: int = 100,
+    noise_levels: tuple[float, ...] = (1e-6, 3e-5),
+    band_factors: tuple[float, ...] = (1.5, 1.25),
+    n_check: int = 64,
+    max_iterations: int = 25,
+    max_error_growth: float = 5.0,
+    holdout_oversample: int = 2,
+    line_sections: int = 20,
+    mesh_rows: int = 3,
+    mesh_cols: int = 3,
+    base_seed: int = 42,
+) -> list[FitJob]:
+    """Named scenario zoo feeding the passivity-enforcement pipeline.
+
+    The ROADMAP's "production model" grid: every job fits a noisy sweep of a
+    physical circuit and carries a :class:`~repro.vectorfitting.enforcement.
+    PassivitySpec`, so every record comes back with a passing
+    :class:`~repro.vectorfitting.enforcement.PassivityCertificate` (or fails
+    loudly) -- the certified artifact a downstream SI/PI user would deploy.
+
+    Scenarios span three circuit families times two representations: a small
+    power-distribution network sampled both as scattering data (``"S"``,
+    converted from its impedance-type MNA system via ``system_kind="Z"``) and
+    as raw impedance data (``"Z"``, positive-real condition); a lossy lumped
+    transmission line (S); and an RLC grid mesh (S).  ``noise_levels`` and
+    ``band_factors`` are paired element-wise into noise x band regimes: higher
+    measurement noise is checked over a tighter out-of-band guard band, which
+    keeps the out-of-band extrapolation of the noisier fits inside what
+    residue perturbation can repair.
+
+    Tags: ``study="passive-macromodel"``, ``circuit``, ``representation``,
+    ``noise``, ``band``, ``seed``.  Deterministic by construction (seeded
+    noise, scalar spec kwargs), so the grid is shardable and cache-stable
+    across rebuilds.
+    """
+    if not noise_levels:
+        raise ValueError("noise_levels must name at least one noise level")
+    if len(noise_levels) != len(band_factors):
+        raise ValueError(
+            "noise_levels and band_factors pair element-wise into regimes; "
+            f"got {len(noise_levels)} noise level(s) for "
+            f"{len(band_factors)} band factor(s)"
+        )
+
+    pdn = power_distribution_network(PdnConfiguration(
+        n_ports=3, grid_rows=3, grid_cols=3, n_decaps=3, n_bulk_caps=1))
+    tline = netlist_to_descriptor(lumped_transmission_line(0.1, line_sections))
+    mesh = netlist_to_descriptor(rlc_grid(mesh_rows, mesh_cols))
+    scenarios = (
+        ("pdn", pdn, 1e6, 2.5e9, "S"),
+        ("tline", tline, 1e6, 5e9, "S"),
+        ("mesh", mesh, 1e6, 2e9, "S"),
+        ("pdn", pdn, 1e6, 2.5e9, "Z"),
+    )
+
+    jobs: list[FitJob] = []
+    for name, system, f_lo, f_hi, representation in scenarios:
+        freqs = linear_frequencies(f_lo, f_hi, n_samples)
+        validation_freqs = linear_frequencies(f_lo, f_hi, n_validation)
+        # All three generators build impedance-type MNA/descriptor systems:
+        # scattering data must be *converted* (system_kind="Z"), not sampled
+        # raw, or the "S" sweep would carry impedance-scale entries.
+        if representation == "S":
+            clean = sample_scattering(system, freqs, system_kind="Z",
+                                      label=f"passive {name}")
+            reference = sample_scattering(system, validation_freqs,
+                                          system_kind="Z",
+                                          label=f"passive {name} validation")
+        else:
+            clean = sample_impedance(system, freqs, label=f"passive {name}")
+            reference = sample_impedance(system, validation_freqs,
+                                         label=f"passive {name} validation")
+        for noise, band_factor in zip(noise_levels, band_factors):
+            data = add_measurement_noise(clean, relative_level=noise,
+                                         seed=base_seed)
+            spec = PassivitySpec(
+                representation=representation,
+                n_check=n_check,
+                band_factor=band_factor,
+                max_iterations=max_iterations,
+                max_error_growth=max_error_growth,
+                holdout_oversample=holdout_oversample,
+            )
+            jobs.append(FitJob(
+                data,
+                method="mfti",
+                options=MftiOptions(block_size=2, rank_method="tolerance",
+                                    rank_tolerance=1e-7),
+                label=(f"passive/{name}-{representation.lower()}"
+                       f"/noise{noise:g}-band{band_factor:g}"),
+                tags={"study": "passive-macromodel", "circuit": name,
+                      "representation": representation, "noise": noise,
+                      "band": band_factor, "seed": base_seed},
+                reference=reference,
+                passivity=spec,
+            ))
+    return jobs
+
+
 #: The shardable named grids: every entry is deterministic for fixed kwargs,
 #: which is what lets a shard manifest reference jobs by (name, kwargs) and a
 #: worker machine rebuild them bit-exactly (``python -m repro.batch.shard``).
@@ -334,6 +444,7 @@ WORKLOADS: dict[str, Callable[..., list[FitJob]]] = {
     "monte_carlo_jobs": monte_carlo_jobs,
     "port_sweep_jobs": port_sweep_jobs,
     "time_domain_jobs": time_domain_jobs,
+    "passive_macromodel_jobs": passive_macromodel_jobs,
 }
 
 

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import json
 import os
+import signal
 import subprocess
 import sys
 import time
@@ -112,14 +113,33 @@ class SubprocessLauncher(Launcher):
         return argv
 
     def _popen(self, argv: list[str]) -> subprocess.Popen:
-        """Start the runner process (test seam: failure injection overrides this)."""
+        """Start the runner process (test seam: failure injection overrides this).
+
+        The runner is started in its own session (process group): a shard
+        running with ``--executor process`` forks a worker pool, and a
+        timeout-kill of the direct child alone would orphan those workers
+        mid-fit.  :meth:`launch` kills the whole group instead.
+        """
         src_root = os.path.dirname(
             os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
         env = dict(os.environ)
         env["PYTHONPATH"] = os.pathsep.join(
             part for part in (src_root, env.get("PYTHONPATH")) if part)
         return subprocess.Popen(argv, stdout=subprocess.PIPE,
-                                stderr=subprocess.PIPE, text=True, env=env)
+                                stderr=subprocess.PIPE, text=True, env=env,
+                                start_new_session=True)
+
+    @staticmethod
+    def _kill_tree(process: subprocess.Popen) -> None:
+        """Kill the runner *and* its process group (its executor workers).
+
+        Falls back to killing the direct child alone when the group is gone
+        already or the platform/test double never created one.
+        """
+        try:
+            os.killpg(process.pid, signal.SIGKILL)
+        except (ProcessLookupError, PermissionError, OSError, AttributeError):
+            process.kill()
 
     def launch(self, shard_index: int, manifest_path: str, result_path: str, *,
                timeout: Optional[float] = None) -> tuple[str, str]:
@@ -127,7 +147,7 @@ class SubprocessLauncher(Launcher):
         try:
             _, stderr = process.communicate(timeout=timeout)
         except subprocess.TimeoutExpired:
-            process.kill()
+            self._kill_tree(process)
             process.communicate()
             return "timeout", f"shard runner exceeded {timeout}s and was killed"
         if process.returncode != 0:

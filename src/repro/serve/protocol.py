@@ -30,6 +30,7 @@ from repro.cache.fingerprint import combined_fingerprint, dataset_fingerprint
 from repro.core.options import options_from_items
 from repro.data.dataset import FrequencyData
 from repro.metrics.timedomain import TimeDomainSpec
+from repro.vectorfitting.enforcement import PassivitySpec
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -144,6 +145,9 @@ def encode_job(job: FitJob) -> dict[str, Any]:
         "time_domain": (
             job.time_domain.to_dict() if job.time_domain is not None else None
         ),
+        "passivity": (
+            job.passivity.to_dict() if job.passivity is not None else None
+        ),
         "job_id": job_fingerprint(job),
     }
 
@@ -170,6 +174,11 @@ def decode_job(spec: dict[str, Any]) -> FitJob:
             time_domain=(
                 TimeDomainSpec(**spec["time_domain"])
                 if spec.get("time_domain") is not None
+                else None
+            ),
+            passivity=(
+                PassivitySpec(**spec["passivity"])
+                if spec.get("passivity") is not None
                 else None
             ),
         )
@@ -226,6 +235,15 @@ def request_key(job: FitJob) -> str:
             if job.time_domain is not None
             else []
         ),
+        # same rule for passivity enforcement: the spec shapes the record's
+        # certificate columns
+        *(
+            ["passivity:{"
+             + ",".join(f"{k}={v}" for k, v in job.passivity.canonical_items())
+             + "}"]
+            if job.passivity is not None
+            else []
+        ),
     ])
 
 
@@ -255,6 +273,9 @@ def encode_record(record: JobRecord) -> dict[str, Any]:
         "time_domain": {
             key: float(value).hex() for key, value in record.time_domain.items()
         },
+        "passivity": {
+            key: float(value).hex() for key, value in record.passivity.items()
+        },
         "cache_status": record.cache_status,
         "error_type": record.error_type,
         "error_message": record.error_message,
@@ -278,6 +299,10 @@ def decode_record(spec: dict[str, Any]) -> JobRecord:
             time_domain={
                 key: float.fromhex(str(value))
                 for key, value in (spec.get("time_domain") or {}).items()
+            },
+            passivity={
+                key: float.fromhex(str(value))
+                for key, value in (spec.get("passivity") or {}).items()
             },
             cache_status=spec.get("cache_status"),
             error_type=spec.get("error_type"),

@@ -13,9 +13,17 @@ to the sampled data.  This package provides a from-scratch implementation:
   rational-model class (evaluation + conversion to a real state space),
 * :mod:`repro.vectorfitting.fitting` -- the fast-VF style fitting loop,
 * :mod:`repro.vectorfitting.passivity` -- sampling-based passivity checks for
-  the fitted models.
+  the fitted models,
+* :mod:`repro.vectorfitting.enforcement` -- post-fit passivity enforcement
+  (Gustavsen-style residue perturbation) producing certified passive models.
 """
 
+from repro.vectorfitting.enforcement import (
+    EnforcementFailed,
+    PassivityCertificate,
+    PassivitySpec,
+    enforce_passivity,
+)
 from repro.vectorfitting.fitting import VectorFitResult, vector_fit
 from repro.vectorfitting.passivity import is_passive_scattering, passivity_violations
 from repro.vectorfitting.poles import PoleGrouping, initial_poles, sort_poles
@@ -30,4 +38,8 @@ __all__ = [
     "VectorFitResult",
     "is_passive_scattering",
     "passivity_violations",
+    "PassivitySpec",
+    "PassivityCertificate",
+    "EnforcementFailed",
+    "enforce_passivity",
 ]

@@ -60,6 +60,29 @@ def _response(model, frequencies_hz: np.ndarray) -> np.ndarray:
     return np.asarray(model.frequency_response(frequencies_hz))
 
 
+def _validated_sweep(frequencies_hz, tolerance: float) -> np.ndarray:
+    """Shared input validation of the passivity checks (both code paths).
+
+    An empty sweep would make every ``is_passive_*`` helper return ``True``
+    without checking anything -- a vacuous pass that could certify an
+    unchecked model -- and a NaN tolerance makes every violation comparison
+    ``False`` with the same silent effect.  Both are caller bugs, so both
+    raise instead of passing.
+    """
+    freqs = np.asarray(frequencies_hz, dtype=float).ravel()
+    if freqs.size == 0:
+        raise ValueError(
+            "passivity check got an empty frequency sweep: an empty sweep "
+            "verifies nothing and would report a vacuous pass"
+        )
+    if not np.isfinite(tolerance) or tolerance < 0.0:
+        raise ValueError(
+            f"tolerance must be finite and >= 0, got {tolerance!r} "
+            "(a NaN tolerance silently passes every frequency)"
+        )
+    return freqs
+
+
 def scattering_margins(response: np.ndarray) -> np.ndarray:
     """Largest singular value of every matrix of a stacked sweep.
 
@@ -120,9 +143,16 @@ def passivity_violations(
         ``"S"`` for scattering data (unit-disc condition) or ``"Z"``/``"Y"``
         for immittance data (positive-real condition).
     tolerance:
-        Violations smaller than this are ignored (numerical slack).
+        Violations smaller than this are ignored (numerical slack); must be
+        finite and non-negative.
+
+    Raises
+    ------
+    ValueError
+        On an empty sweep (a vacuous pass is a caller bug, not a result) or
+        a non-finite / negative tolerance.
     """
-    freqs = np.asarray(frequencies_hz, dtype=float).ravel()
+    freqs = _validated_sweep(frequencies_hz, tolerance)
     response = _response(model, freqs)
     if representation == "S":
         margins = scattering_margins(response)
@@ -148,9 +178,11 @@ def passivity_violations_reference(
     """Per-frequency reference loop of :func:`passivity_violations`.
 
     Kept (and exported) as the oracle the vectorized path is measured
-    against, per the kernel-module convention.
+    against, per the kernel-module convention -- including the input
+    validation: empty sweeps and non-finite / negative tolerances raise
+    here exactly as they do on the batched path.
     """
-    freqs = np.asarray(frequencies_hz, dtype=float).ravel()
+    freqs = _validated_sweep(frequencies_hz, tolerance)
     response = _response(model, freqs)
     violations: list[PassivityViolation] = []
     if representation == "S":

@@ -293,7 +293,8 @@ class TestPortSweepJobs:
         from repro.experiments.workloads import WORKLOADS, workload_jobs
 
         assert set(WORKLOADS) == {"mixed_batch_jobs", "monte_carlo_jobs",
-                                  "port_sweep_jobs", "time_domain_jobs"}
+                                  "passive_macromodel_jobs", "port_sweep_jobs",
+                                  "time_domain_jobs"}
         jobs = workload_jobs("port_sweep_jobs", **self.KWARGS)
         assert len(jobs) == 8
         with pytest.raises(ValueError, match="unknown workload"):

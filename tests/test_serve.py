@@ -29,7 +29,9 @@ import dataclasses
 import http.client
 import json
 import math
+import sys
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -393,6 +395,42 @@ class AlwaysLostLauncher(Launcher):
         return "ok", ""
 
 
+class SleepyPoolLauncher(SubprocessLauncher):
+    """Runner that forks a worker child and hangs -- a stuck process pool.
+
+    Mimics a ``--executor process`` shard runner mid-fit: the direct child
+    spawns a worker subprocess, records both PIDs, and sleeps forever.  Only
+    the kill path of :meth:`SubprocessLauncher.launch` is under test, so the
+    manifest/result arguments are never touched.
+    """
+
+    def __init__(self, pid_file):
+        super().__init__()
+        self.pid_file = str(pid_file)
+
+    def _argv(self, manifest_path, result_path):
+        script = (
+            "import os, subprocess, sys, time\n"
+            "worker = subprocess.Popen(\n"
+            "    [sys.executable, '-c', 'import time; time.sleep(120)'])\n"
+            f"with open({self.pid_file!r}, 'w') as handle:\n"
+            "    handle.write(f'{os.getpid()} {worker.pid}')\n"
+            "time.sleep(120)\n"
+        )
+        return [sys.executable, "-c", script]
+
+
+def _process_running(pid: int) -> bool:
+    """True while ``pid`` is alive and not a zombie awaiting reap."""
+    try:
+        with open(f"/proc/{pid}/stat", encoding="ascii") as handle:
+            stat = handle.read()
+    except OSError:
+        return False
+    # field 3 (after the parenthesised comm) is the state letter
+    return stat.rpartition(")")[2].split()[0] != "Z"
+
+
 class TestDispatcher:
     def test_retry_after_killed_shard_is_bit_identical(self, tmp_path,
                                                        reference_run):
@@ -422,6 +460,30 @@ class TestDispatcher:
         for stub in (SshLauncher(("host-a",)), SlurmLauncher()):
             with pytest.raises(NotImplementedError):
                 stub.launch(0, "manifest.json", "result.npz")
+
+    @pytest.mark.skipif(not sys.platform.startswith("linux"),
+                        reason="process-group kill asserted via /proc")
+    def test_timeout_kill_leaves_no_orphaned_workers(self, tmp_path):
+        # regression: launch() used to kill only the direct child, so a
+        # runner's --executor process worker pool survived a timeout-kill
+        pid_file = tmp_path / "pids.txt"
+        launcher = SleepyPoolLauncher(pid_file)
+        started = time.monotonic()
+        status, detail = launcher.launch(
+            0, "unused-manifest", str(tmp_path / "unused.npz"), timeout=2.0)
+        assert status == "timeout"
+        assert "killed" in detail
+        # a surviving worker would hold the runner's stdout/stderr pipes
+        # open and stall the post-kill communicate() far past the timeout
+        assert time.monotonic() - started < 30.0
+        runner_pid, worker_pid = (int(p) for p in
+                                  pid_file.read_text().split())
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline and (
+                _process_running(runner_pid) or _process_running(worker_pid)):
+            time.sleep(0.05)
+        assert not _process_running(runner_pid)
+        assert not _process_running(worker_pid)
 
 
 # --------------------------------------------------------------------------- #
