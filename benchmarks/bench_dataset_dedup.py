@@ -1,0 +1,213 @@
+"""Dataset-interning acceptance: shared datasets ship once, evaluate once.
+
+The scenario the interning layer exists for, made measurable: a 24-job
+option sweep over *one* board -- every job fits the same noisy measurement
+against the same clean reference (same frequency grid).  Without interning
+each transport boundary ships 48 dataset copies and each job re-runs the
+reference SVD sweep; with it, two.
+
+Three exact gates, one timing gate:
+
+1. **Wire bytes** -- the version-2 ``/submit`` document (batch-level dataset
+   table, jobs carry fingerprint refs) against the legacy version-1 inline
+   shape, both JSON-encoded.  Gated at >= 10x reduction (structurally ~20x:
+   48 inline dataset documents collapse to 2 table entries); the decoded
+   batch must round-trip to fingerprint-identical jobs.
+2. **Response-cache counters** -- the serial run's hit/miss tally must equal
+   what the sharing structure predicts *exactly*: 2 unique datasets across
+   48 norm consultations (``2 * (n_jobs - 1)`` hits) and one shared grid
+   across 48 sweep consultations (``2 * n_jobs - n_unique_systems`` hits).
+   Off-by-one here means a fingerprint unexpectedly collided or missed.
+3. **Bitwise identity** -- ``comparable_json`` of the responses-on and
+   responses-off runs must be string-equal: the cache may only ever return
+   what the direct computation produces.
+4. **Chunk shipping** -- :class:`~repro.cache.JobTable` (what the process
+   executor pickles per chunk) against naively pickling the chunk with
+   per-job dataset copies (what a decoded wire batch looks like): gated on
+   byte reduction (>= 10x) and on not being slower to round-trip.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import time
+
+import pytest
+
+from repro.batch import BatchEngine, FitJob, comparable_json, job_fingerprint
+from repro.cache import JobTable, dataset_fingerprint, system_fingerprint
+from repro.core.options import MftiOptions
+from repro.data import log_frequencies, sample_scattering
+from repro.data.noise import add_measurement_noise
+from repro.serve.protocol import decode_batch, encode_batch
+from repro.systems.random_systems import random_stable_system
+
+#: One shared board: a 4-port order-16 system sampled on one 64-point grid.
+BOARD = dict(order=16, n_ports=4, feedthrough=0.1, seed=7)
+GRID = dict(start=1e2, stop=1e6, n_samples=64)
+
+#: 24 deterministic option variants (4 block sizes x (identity + 5 seeds)).
+BLOCK_SIZES = (1, 2, 3, 4)
+RANDOM_SEEDS = (0, 1, 2, 3, 4)
+
+
+def shared_dataset_jobs() -> list[FitJob]:
+    """The 24-job sweep: every job shares one dataset and one reference."""
+    system = random_stable_system(**BOARD)
+    freqs = log_frequencies(GRID["start"], GRID["stop"], GRID["n_samples"])
+    clean = sample_scattering(system, freqs, label="clean reference")
+    noisy = add_measurement_noise(clean, relative_level=1e-4, seed=11)
+    jobs = []
+    for block in BLOCK_SIZES:
+        jobs.append(FitJob(noisy, method="mfti",
+                           options=MftiOptions(block_size=block),
+                           reference=clean, label=f"b{block}/identity",
+                           tags={"block": block, "directions": "identity"}))
+        for seed in RANDOM_SEEDS:
+            jobs.append(FitJob(noisy, method="mfti",
+                               options=MftiOptions(block_size=block,
+                                                   direction_kind="random",
+                                                   direction_seed=seed),
+                               reference=clean, label=f"b{block}/s{seed}",
+                               tags={"block": block, "seed": seed}))
+    return jobs
+
+
+def distinct_copy_chunk(jobs: list[FitJob]) -> list[tuple]:
+    """The chunk as cross-process transports see it: per-job dataset copies.
+
+    Pickle memoizes *object-identical* datasets, so the honest baseline for
+    the chunk codec is a chunk whose jobs hold equal-but-distinct copies --
+    exactly what decoding a legacy wire batch produces.
+    """
+    import numpy as np
+
+    return [
+        (index, FitJob(
+            job.data.with_samples(np.array(job.data.samples, copy=True)),
+            method=job.method, options=job.options, label=job.label,
+            tags=job.tags,
+            reference=job.reference.with_samples(
+                np.array(job.reference.samples, copy=True)),
+        ))
+        for index, job in enumerate(jobs)
+    ]
+
+
+def round_trip_seconds(ship, rounds: int = 5) -> float:
+    """Best-of-N wall time of one ship() round trip (pack/dumps/loads/unpack)."""
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        ship()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+@pytest.fixture(scope="module")
+def job_grid():
+    return shared_dataset_jobs()
+
+
+def test_dataset_dedup_ships_once_evaluates_once(benchmark, job_grid,
+                                                 reportable, json_reportable):
+    """24 jobs, one dataset pair: 10x wire bytes, exact response counters."""
+    n_jobs = len(job_grid)
+
+    # -- wire bytes: version-2 dataset table vs. legacy inline ------------- #
+    v2_document = encode_batch(job_grid)
+    v1_document = encode_batch(job_grid, inline=True)
+    v2_bytes = len(json.dumps(v2_document).encode())
+    v1_bytes = len(json.dumps(v1_document).encode())
+    wire_reduction = v1_bytes / v2_bytes
+    fingerprints = [job_fingerprint(job) for job in job_grid]
+    decoded_equal = (
+        [job_fingerprint(job) for job in decode_batch(v2_document)] == fingerprints
+        and [job_fingerprint(job) for job in decode_batch(v1_document)] == fingerprints
+    )
+
+    # -- response cache: serial run, counters predicted exactly ------------ #
+    def serial_run():
+        return BatchEngine().run(job_grid)
+
+    result = benchmark.pedantic(serial_run, rounds=1, iterations=1)
+    assert result.n_failed == 0, result.failures
+    n_unique_datasets = len({dataset_fingerprint(data)
+                             for job in job_grid
+                             for data in (job.data, job.reference)})
+    n_unique_systems = len({system_fingerprint(record.result.system)
+                            for record in result.records})
+    # per job: 2 norm + 2 sweep consultations (error_vs_data + _reference);
+    # data and reference share one grid, so each fitted system sweeps once
+    expected_norm_hits = 2 * n_jobs - n_unique_datasets
+    expected_sweep_hits = 2 * n_jobs - n_unique_systems
+    expected_hits = expected_norm_hits + expected_sweep_hits
+    expected_misses = n_unique_datasets + n_unique_systems
+
+    # -- bitwise identity: the cache may not change a single byte ---------- #
+    plain = BatchEngine(response_cache=False).run(job_grid)
+    json_equal = comparable_json(result) == comparable_json(plain)
+
+    # -- chunk shipping: JobTable vs. naive per-copy pickle ---------------- #
+    chunk = distinct_copy_chunk(job_grid)
+    packed_bytes = JobTable.pack(chunk).payload_nbytes()
+    naive_blob = pickle.dumps(chunk, protocol=pickle.HIGHEST_PROTOCOL)
+    naive_bytes = len(naive_blob)
+    chunk_bytes_reduction = naive_bytes / packed_bytes
+
+    def ship_packed():
+        table = pickle.loads(pickle.dumps(JobTable.pack(chunk),
+                                          protocol=pickle.HIGHEST_PROTOCOL))
+        return table.unpack()
+
+    def ship_naive():
+        return pickle.loads(pickle.dumps(chunk, protocol=pickle.HIGHEST_PROTOCOL))
+
+    packed_seconds = round_trip_seconds(ship_packed)
+    naive_seconds = round_trip_seconds(ship_naive)
+    chunk_ship_speedup = naive_seconds / packed_seconds
+
+    assert decoded_equal and json_equal
+    assert (result.n_response_hits, result.n_response_misses) == \
+           (expected_hits, expected_misses)
+
+    reportable("dataset_dedup.txt", "\n\n".join([
+        result.summary_table(title=f"dataset dedup: {n_jobs} jobs, "
+                                   f"{n_unique_datasets} unique datasets"),
+        f"wire bytes: v1 inline={v1_bytes} v2 table={v2_bytes} "
+        f"reduction={wire_reduction:.1f}x",
+        f"chunk bytes: naive={naive_bytes} packed={packed_bytes} "
+        f"reduction={chunk_bytes_reduction:.1f}x "
+        f"ship speedup={chunk_ship_speedup:.1f}x",
+        f"response cache: hits={result.n_response_hits} "
+        f"misses={result.n_response_misses} (expected exactly "
+        f"{expected_hits}/{expected_misses})",
+    ]))
+    json_reportable("dataset_dedup", {
+        "n_jobs": n_jobs,
+        "n_unique_datasets": n_unique_datasets,
+        "n_unique_systems": n_unique_systems,
+        "n_failed": result.n_failed + plain.n_failed,
+        "decoded_equal": int(decoded_equal),
+        "json_equal": int(json_equal),
+        "v1_wire_bytes": v1_bytes,
+        "v2_wire_bytes": v2_bytes,
+        "wire_reduction": wire_reduction,
+        "response_hits": result.n_response_hits,
+        "response_misses": result.n_response_misses,
+        "expected_response_hits": expected_hits,
+        "expected_response_misses": expected_misses,
+        "naive_chunk_bytes": naive_bytes,
+        "packed_chunk_bytes": packed_bytes,
+        "chunk_bytes_reduction": chunk_bytes_reduction,
+        "packed_ship_seconds": packed_seconds,
+        "naive_ship_seconds": naive_seconds,
+        "chunk_ship_speedup": chunk_ship_speedup,
+        "jobs": [record.to_dict() for record in result.records],
+    })
+    benchmark.extra_info.update({
+        "wire_reduction": round(wire_reduction, 2),
+        "chunk_bytes_reduction": round(chunk_bytes_reduction, 2),
+        "response_hits": result.n_response_hits,
+    })

@@ -1,0 +1,81 @@
+"""Consolidate every ``BENCH_*.json`` export into one ``BENCH_summary.json``.
+
+CI runs the benchmark smokes one file at a time; each writes its own
+machine-readable export.  This script rolls the scalar measurements of all
+of them into a single document -- one artifact to download, one file to diff
+between runs -- without repeating the bulky per-job/row payloads.
+
+The summary is an *aggregate*, not a measurement: it carries no rules of its
+own and :mod:`check_perf_regression` explicitly skips it (every value in it
+is already gated through the export it came from).
+
+Usage::
+
+    python benchmarks/collect_summary.py benchmarks/results
+    python benchmarks/collect_summary.py benchmarks/results --out path.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+from typing import Any
+
+#: Schema of the summary envelope; bump when its shape changes.
+SUMMARY_SCHEMA_VERSION = 1
+
+#: The summary's own filename -- never folded into itself.
+SUMMARY_BASENAME = "BENCH_summary.json"
+
+
+def scalar_fields(payload: dict) -> dict[str, Any]:
+    """The flat scalar measurements of one export (lists/dicts dropped)."""
+    return {
+        key: value
+        for key, value in payload.items()
+        if isinstance(value, (int, float, str, bool)) or value is None
+    }
+
+
+def collect(results_dir: str) -> dict[str, Any]:
+    """The summary document for every export under ``results_dir``."""
+    benchmarks: dict[str, Any] = {}
+    sources: list[str] = []
+    for path in sorted(glob.glob(os.path.join(results_dir, "BENCH_*.json"))):
+        if os.path.basename(path) == SUMMARY_BASENAME:
+            continue
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        name = payload.get("benchmark", os.path.basename(path))
+        benchmarks[name] = scalar_fields(payload)
+        sources.append(os.path.basename(path))
+    return {
+        "benchmark": "summary",
+        "schema_version": SUMMARY_SCHEMA_VERSION,
+        "n_benchmarks": len(benchmarks),
+        "sources": sources,
+        "benchmarks": benchmarks,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("results", help="directory containing BENCH_*.json exports")
+    parser.add_argument("--out", default=None,
+                        help="where to write the summary (default: "
+                             "BENCH_summary.json inside the results directory)")
+    args = parser.parse_args(argv)
+
+    summary = collect(args.results)
+    out = args.out or os.path.join(args.results, SUMMARY_BASENAME)
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"summarised {summary['n_benchmarks']} exports -> {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

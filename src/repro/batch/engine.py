@@ -32,6 +32,7 @@ from repro.backends import BACKEND_NAMES, ENV_VARIABLE
 from repro.batch.jobs import FitJob, JobRecord, run_job
 from repro.batch.results import BatchResult
 from repro.cache.fitcache import FitCache
+from repro.cache.interning import DatasetPool, JobTable, ResponseCache, SharedDatasetArena
 from repro.cache.stores import MemoryStore
 
 __all__ = ["BatchEngine", "EXECUTORS", "contiguous_chunks"]
@@ -54,15 +55,54 @@ def contiguous_chunks(items: Sequence, size: int) -> list[list]:
 
 
 def _run_chunk(
-    chunk: Sequence[tuple[int, FitJob]], cache=None, backend=None
+    chunk: Sequence[tuple[int, FitJob]], cache=None, backend=None, responses=None
 ) -> list[JobRecord]:
     """Run one contiguous chunk of (index, job) pairs (worker-side entry point).
 
     ``backend`` travels as a *name* (picklable for process workers) and is
     installed per job by :func:`~repro.batch.jobs.run_job`, so thread/process
-    workers resolve it in their own context.
+    workers resolve it in their own context.  ``responses`` is the
+    batch-shared :class:`~repro.cache.ResponseCache` (serial and thread
+    executors share one across chunks; process workers hold worker-local
+    ones set up by the pool initializer).
     """
-    return [run_job(index, job, cache, backend=backend) for index, job in chunk]
+    return [
+        run_job(index, job, cache, backend=backend, responses=responses)
+        for index, job in chunk
+    ]
+
+
+#: Per-worker state for the process executor, installed once per worker by
+#: :func:`_pool_initializer` instead of travelling with every chunk: the
+#: (stripped) fit cache and backend name, a worker-persistent
+#: :class:`~repro.cache.DatasetPool` (later chunks resolve dataset refs
+#: without reconstructing) and the worker's :class:`~repro.cache.ResponseCache`.
+_WORKER_STATE: dict = {}
+
+
+def _pool_initializer(cache, backend, use_responses: bool) -> None:
+    """One-time process-worker setup (runs in the worker, once per worker)."""
+    _WORKER_STATE["cache"] = cache
+    _WORKER_STATE["backend"] = backend
+    _WORKER_STATE["pool"] = DatasetPool()
+    _WORKER_STATE["responses"] = ResponseCache() if use_responses else None
+
+
+def _run_packed_chunk(table: JobTable) -> list[JobRecord]:
+    """Worker-side entry point for the process executor.
+
+    The chunk arrives as a :class:`~repro.cache.JobTable` -- unique datasets
+    once (pickled or as shared-memory descriptors), jobs as fingerprint
+    refs -- and everything else comes from the worker state installed by
+    :func:`_pool_initializer`.
+    """
+    chunk = table.unpack(pool=_WORKER_STATE.get("pool"))
+    return _run_chunk(
+        chunk,
+        _WORKER_STATE.get("cache"),
+        _WORKER_STATE.get("backend"),
+        _WORKER_STATE.get("responses"),
+    )
 
 
 @dataclass(frozen=True)
@@ -94,6 +134,20 @@ class BatchEngine:
         then ``numpy``.  The backend is an execution detail: it never enters
         job fingerprints or serve request keys, and the ``numpy`` backend is
         bitwise-identical to not selecting one.
+    response_cache:
+        Whether to share a cross-job :class:`~repro.cache.ResponseCache`
+        across the batch (default on): reference-norm SVDs are memoized per
+        unique validation dataset and model sweeps per ``(system, grid)``
+        fingerprint pair, so jobs sharing a reference reuse one evaluation.
+        Values are bitwise-identical either way; per-record hit/miss tallies
+        land on the records.  Serial and thread executors share one cache
+        per :meth:`run`; each process worker holds its own.
+    shared_memory:
+        Ship the unique datasets of each process-executor chunk through
+        ``multiprocessing.shared_memory`` instead of pickling them into the
+        chunk payload (reconstruction is fingerprint-verified, creation
+        failures fall back to pickling per dataset).  No effect on the
+        serial/thread executors, which share memory by construction.
     """
 
     executor: str = "serial"
@@ -101,6 +155,8 @@ class BatchEngine:
     chunk_size: Optional[int] = None
     cache: Optional[FitCache] = None
     backend: Optional[str] = None
+    response_cache: bool = True
+    shared_memory: bool = False
 
     def __post_init__(self):
         if self.executor not in EXECUTORS:
@@ -121,7 +177,10 @@ class BatchEngine:
 
         Lets benchmarks and scripts switch backend without code changes, e.g.
         ``REPRO_BATCH_EXECUTOR=process REPRO_BATCH_WORKERS=4 pytest benchmarks/``.
-        The array backend is likewise picked up from ``REPRO_ARRAY_BACKEND``.
+        The array backend is likewise picked up from ``REPRO_ARRAY_BACKEND``;
+        ``REPRO_BATCH_SHM=1`` opts the process executor into shared-memory
+        dataset shipping and ``REPRO_BATCH_RESPONSES=0`` disables the
+        cross-job response cache.
         """
         def int_env(name: str):
             value = os.environ.get(name)
@@ -132,11 +191,24 @@ class BatchEngine:
             except ValueError:
                 raise ValueError(f"{name} must be an integer, got {value!r}") from None
 
+        def bool_env(name: str, default: bool) -> bool:
+            value = os.environ.get(name)
+            if value is None or value == "":
+                return default
+            lowered = value.strip().lower()
+            if lowered in ("1", "true", "yes", "on"):
+                return True
+            if lowered in ("0", "false", "no", "off"):
+                return False
+            raise ValueError(f"{name} must be a boolean flag, got {value!r}")
+
         return cls(
             executor=os.environ.get("REPRO_BATCH_EXECUTOR", default),
             max_workers=int_env("REPRO_BATCH_WORKERS"),
             chunk_size=int_env("REPRO_BATCH_CHUNK"),
             backend=os.environ.get(ENV_VARIABLE) or None,
+            response_cache=bool_env("REPRO_BATCH_RESPONSES", True),
+            shared_memory=bool_env("REPRO_BATCH_SHM", False),
         )
 
     @classmethod
@@ -145,7 +217,8 @@ class BatchEngine:
 
         Recognised keys (all optional): ``executor``, ``max_workers``,
         ``chunk_size``, ``backend`` (array-backend name for the kernel
-        modules), ``cache_dir`` (path -> disk-backed
+        modules), ``response_cache`` / ``shared_memory`` (bools, see the
+        class attributes), ``cache_dir`` (path -> disk-backed
         :class:`~repro.cache.FitCache`) and ``memory_cache`` (bool -> fresh
         memory-backed cache).  The same dict configures the HTTP service, the
         shard dispatcher and direct-Python callers, so one engine description
@@ -160,6 +233,9 @@ class BatchEngine:
         for key in ("executor", "max_workers", "chunk_size", "backend"):
             if key in config:
                 kwargs[key] = config.pop(key)
+        for key in ("response_cache", "shared_memory"):
+            if key in config:
+                kwargs[key] = bool(config.pop(key))
         if config:
             raise ValueError(
                 f"unknown engine config keys: {', '.join(sorted(config))}"
@@ -185,6 +261,10 @@ class BatchEngine:
             config["chunk_size"] = self.chunk_size
         if self.backend is not None:
             config["backend"] = self.backend
+        if not self.response_cache:
+            config["response_cache"] = False
+        if self.shared_memory:
+            config["shared_memory"] = True
         if self.cache is not None:
             store = self.cache.store
             if isinstance(store, MemoryStore):
@@ -266,16 +346,36 @@ class BatchEngine:
                 raise ValueError("job indices must be unique")
         chunks = self._chunks(job_list, index_list)
         cache = self._worker_cache()
+        responses = ResponseCache() if self.response_cache else None
         if self.executor == "serial":
-            chunk_records = [_run_chunk(chunk, cache, self.backend) for chunk in chunks]
-        else:
-            pool_cls = ThreadPoolExecutor if self.executor == "thread" else ProcessPoolExecutor
-            with pool_cls(max_workers=self.n_workers) as pool:
+            chunk_records = [
+                _run_chunk(chunk, cache, self.backend, responses) for chunk in chunks
+            ]
+        elif self.executor == "thread":
+            with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
                 futures = [
-                    pool.submit(_run_chunk, chunk, cache, self.backend)
+                    pool.submit(_run_chunk, chunk, cache, self.backend, responses)
                     for chunk in chunks
                 ]
                 chunk_records = [future.result() for future in futures]
+        else:
+            # the zero-copy job plane: each chunk crosses the pipe as a
+            # JobTable (unique datasets once, jobs as fingerprint refs);
+            # cache/backend/response-cache install once per worker via the
+            # pool initializer instead of travelling with every chunk
+            arena = SharedDatasetArena() if self.shared_memory else None
+            try:
+                tables = [JobTable.pack(chunk, arena=arena) for chunk in chunks]
+                with ProcessPoolExecutor(
+                    max_workers=self.n_workers,
+                    initializer=_pool_initializer,
+                    initargs=(cache, self.backend, self.response_cache),
+                ) as pool:
+                    futures = [pool.submit(_run_packed_chunk, table) for table in tables]
+                    chunk_records = [future.result() for future in futures]
+            finally:
+                if arena is not None:
+                    arena.cleanup()
         records = sorted(
             (record for chunk in chunk_records for record in chunk),
             key=lambda record: record.index,

@@ -19,10 +19,12 @@ from typing import Any, Optional
 
 import numpy as np
 
+from repro.cache.interning import ResponseTally
 from repro.core._pipeline import frontend_spec, run_fit
 from repro.core.options import InterpolationOptions
 from repro.core.results import MacromodelResult
 from repro.data.dataset import FrequencyData
+from repro.metrics.errors import model_aggregate_error
 from repro.metrics.timedomain import TimeDomainSpec, time_domain_metrics
 from repro.vectorfitting.enforcement import PassivitySpec, passivity_metrics
 
@@ -160,6 +162,13 @@ class JobRecord:
         :class:`~repro.cache.FitCache`, ``None`` otherwise.  Carried on the
         record (not only on the cache object) so the counters survive the
         process executor, whose workers hold private cache copies.
+    response_hits, response_misses:
+        Cross-job response-cache consultations made while evaluating this
+        job (reference-norm SVDs and model sweeps; zero when the batch ran
+        without a response cache).  The *values* never depend on these
+        counters -- a hit returns exactly what the miss computed -- and the
+        split between hits and misses depends on executor scheduling, so
+        comparable exports zero them like the timing envelope.
     error_type, error_message, error_traceback:
         Exception details of a failed job (``None`` on success).
 
@@ -180,6 +189,8 @@ class JobRecord:
     time_domain: dict[str, float] = field(default_factory=dict)
     passivity: dict[str, float] = field(default_factory=dict)
     cache_status: Optional[str] = None
+    response_hits: int = 0
+    response_misses: int = 0
     error_type: Optional[str] = None
     error_message: Optional[str] = None
     error_traceback: Optional[str] = None
@@ -208,6 +219,7 @@ class JobRecord:
             "time_domain": dict(self.time_domain),
             "passivity": dict(self.passivity),
             "cache": self.cache_status,
+            "responses": {"hits": self.response_hits, "misses": self.response_misses},
             "error": (
                 None
                 if self.ok
@@ -216,7 +228,7 @@ class JobRecord:
         }
 
 
-def run_job(index: int, job: FitJob, cache=None, *, backend=None) -> JobRecord:
+def run_job(index: int, job: FitJob, cache=None, *, backend=None, responses=None) -> JobRecord:
     """Execute one job, capturing any exception into the returned record.
 
     This is a module-level function so the process backend can pickle it; it
@@ -230,11 +242,21 @@ def run_job(index: int, job: FitJob, cache=None, *, backend=None) -> JobRecord:
     changes in the fit front-ends; an unavailable backend fails the job
     (captured in the record) rather than the batch.  The backend never
     enters the job fingerprint: it is an execution detail.
+
+    ``responses`` optionally supplies a batch-shared
+    :class:`~repro.cache.ResponseCache`: the model sweep and the
+    reference-norm SVDs behind ``error_vs_data``/``error_vs_reference``,
+    ``time_domain`` and the passivity certificate are then memoized across
+    jobs by ``(system fingerprint, grid fingerprint)`` / dataset
+    fingerprint, and the record carries this job's hit/miss tally.  Cached
+    values are what the direct computation produces, so results are
+    bitwise-identical with or without it.
     """
     from repro.backends import use_backend
 
     started = time.perf_counter()
     cache_status: Optional[str] = None
+    tally = ResponseTally(responses) if responses is not None else None
     try:
         with use_backend(backend):
             fit_key: Optional[str] = None
@@ -246,30 +268,69 @@ def run_job(index: int, job: FitJob, cache=None, *, backend=None) -> JobRecord:
                 )
             else:
                 result = run_fit(job.data, method=job.method, options=job.options)
+
+            if tally is not None and hasattr(result.system, "prime_evaluation_plan"):
+                # Cached sweep values must be pure functions of (system
+                # fingerprint, grid fingerprint): a hit on the fit-grid sweep
+                # would otherwise leave this system's lazily-built evaluation
+                # plan to be seeded by whichever grid misses next, and the
+                # plan's shift depends on the seeding grid.  Pinning the plan
+                # to the fit grid -- what the first uncached sweep would have
+                # built -- keeps miss computations bitwise identical no
+                # matter which hits preceded them (or on which worker).
+                result.system.prime_evaluation_plan(job.data.frequencies_hz)
+
+            def evaluate(data):
+                """Aggregate error vs ``data``, via the response cache if on."""
+                if tally is None:
+                    return result.aggregate_error(data)
+                return model_aggregate_error(
+                    result.system,
+                    data,
+                    response=tally.model_sweep(result.system, data),
+                    norms=tally.reference_norms(data),
+                )
+
             if fit_key is not None:
                 # memoized evaluations: on warm sweeps the error evaluations
-                # dominate the wall clock, not the (skipped) fits
-                error_vs_data = cache.cached_aggregate_error(fit_key, result, job.data)
+                # dominate the wall clock, not the (skipped) fits.  The
+                # response-cache sweep only runs on an evaluation-memo miss.
+                error_vs_data = cache.cached_aggregate_error(
+                    fit_key, result, job.data, compute=lambda: evaluate(job.data)
+                )
                 error_vs_reference = (
-                    cache.cached_aggregate_error(fit_key, result, job.reference)
+                    cache.cached_aggregate_error(
+                        fit_key, result, job.reference, compute=lambda: evaluate(job.reference)
+                    )
                     if job.reference is not None
                     else float("nan")
                 )
             else:
-                error_vs_data = result.aggregate_error(job.data)
+                error_vs_data = evaluate(job.data)
                 error_vs_reference = (
-                    result.aggregate_error(job.reference)
-                    if job.reference is not None
-                    else float("nan")
+                    evaluate(job.reference) if job.reference is not None else float("nan")
                 )
             time_domain = (
-                time_domain_metrics(result.system, job.reference, job.time_domain)
+                time_domain_metrics(
+                    result.system,
+                    job.reference,
+                    job.time_domain,
+                    model_samples=(
+                        tally.model_sweep(result.system, job.reference)
+                        if tally is not None
+                        else None
+                    ),
+                )
                 if job.time_domain is not None
                 else {}
             )
             passivity = (
                 passivity_metrics(
-                    result.system, job.data, job.passivity, reference=job.reference
+                    result.system,
+                    job.data,
+                    job.passivity,
+                    reference=job.reference,
+                    responses=tally,
                 )
                 if job.passivity is not None
                 else {}
@@ -288,6 +349,8 @@ def run_job(index: int, job: FitJob, cache=None, *, backend=None) -> JobRecord:
             time_domain=time_domain,
             passivity=passivity,
             cache_status=cache_status,
+            response_hits=tally.hits if tally is not None else 0,
+            response_misses=tally.misses if tally is not None else 0,
         )
     except Exception as exc:  # noqa: BLE001 - per-job isolation is the point
         return JobRecord(
@@ -298,6 +361,8 @@ def run_job(index: int, job: FitJob, cache=None, *, backend=None) -> JobRecord:
             status="failed",
             elapsed_seconds=time.perf_counter() - started,
             cache_status=cache_status,
+            response_hits=tally.hits if tally is not None else 0,
+            response_misses=tally.misses if tally is not None else 0,
             error_type=type(exc).__name__,
             error_message=str(exc),
             error_traceback=traceback.format_exc(),

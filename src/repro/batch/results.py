@@ -3,8 +3,9 @@
 The :class:`BatchResult` is the store every batch consumer works against: the
 benchmarks render its summary table, the CI artifact step serialises it with
 :meth:`BatchResult.save_json`, and sweep analyses filter records by tag.  The
-JSON schema (``schema_version`` 4: version 3 plus the per-record
-``passivity`` certificate dict; version 3 added the per-record
+JSON schema (``schema_version`` 5: version 4 plus the per-record
+``responses`` hit/miss tally and the batch-level response-cache counters;
+version 4 added the per-record ``passivity`` certificate dict; version 3 the
 ``time_domain`` metric dict) is deliberately small and stable -- per-record
 scalars plus batch-level aggregates -- so perf-regression gates can diff
 exports across commits.
@@ -24,7 +25,7 @@ from repro.batch.jobs import JobRecord
 
 __all__ = ["BatchResult", "numerical_differences", "comparable_dict", "comparable_json"]
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 
 def _json_safe(value):
@@ -89,8 +90,11 @@ def comparable_dict(result: "BatchResult") -> dict[str, Any]:
     count / chunk size than the single-process reference -- those fields
     describe *how* the batch ran, not *what* it computed.  This helper zeroes
     exactly that volatile envelope (``executor``, ``n_workers``,
-    ``chunk_size``, ``wall_seconds``, ``total_fit_seconds`` and the per-job
-    ``elapsed_seconds``) and keeps everything else byte-comparable: record
+    ``chunk_size``, ``wall_seconds``, ``total_fit_seconds``, the per-job
+    ``elapsed_seconds`` and the response-cache hit/miss tallies -- a serial
+    run shares one response cache batch-wide while each process worker holds
+    its own, so the hit/miss *split* depends on scheduling even though the
+    values never do) and keeps everything else byte-comparable: record
     identity and order, model orders, error values, cache hit/miss statuses
     and counters.  The sharding differential tests and the CI sharded-smoke
     step compare runs through :func:`comparable_json`, so "the merged JSON
@@ -102,8 +106,11 @@ def comparable_dict(result: "BatchResult") -> dict[str, Any]:
     document["chunk_size"] = 0
     document["wall_seconds"] = 0.0
     document["total_fit_seconds"] = 0.0
+    document["n_response_hits"] = 0
+    document["n_response_misses"] = 0
     for job in document["jobs"]:
         job["elapsed_seconds"] = 0.0
+        job["responses"] = {"hits": 0, "misses": 0}
     return document
 
 
@@ -181,6 +188,23 @@ class BatchResult:
     def used_cache(self) -> bool:
         """Whether any job of this batch went through a fit cache."""
         return any(record.cache_status is not None for record in self.records)
+
+    @property
+    def n_response_hits(self) -> int:
+        """Cross-job response-cache hits summed over the records."""
+        return sum(record.response_hits for record in self.records)
+
+    @property
+    def n_response_misses(self) -> int:
+        """Cross-job response-cache misses summed over the records."""
+        return sum(record.response_misses for record in self.records)
+
+    @property
+    def used_responses(self) -> bool:
+        """Whether any job of this batch consulted a response cache."""
+        return any(
+            record.response_hits or record.response_misses for record in self.records
+        )
 
     def raise_failures(self, *, context: str = "batch job") -> "BatchResult":
         """Fail-fast helper: raise on the first failed record, else return ``self``.
@@ -260,6 +284,12 @@ class BatchResult:
             f"batch: {self.n_ok}/{self.n_jobs} ok, executor={self.executor} "
             f"(workers={self.n_workers}), wall={self.wall_seconds:.3f}s"
             + (f", cache hits={self.n_cache_hits}/{self.n_jobs}" if with_cache else "")
+            + (
+                f", response hits={self.n_response_hits}/"
+                f"{self.n_response_hits + self.n_response_misses}"
+                if self.used_responses
+                else ""
+            )
         )
         columns = ["#", "job", "method", "status", "order", "time (s)", "error vs reference"]
         if with_time_domain:
@@ -282,6 +312,8 @@ class BatchResult:
             "n_failed": self.n_failed,
             "n_cache_hits": self.n_cache_hits,
             "n_cache_misses": self.n_cache_misses,
+            "n_response_hits": self.n_response_hits,
+            "n_response_misses": self.n_response_misses,
             "wall_seconds": self.wall_seconds,
             "total_fit_seconds": self.total_fit_seconds,
             "jobs": [record.to_dict() for record in self.records],

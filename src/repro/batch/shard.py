@@ -149,6 +149,8 @@ def cmd_run(args: argparse.Namespace) -> int:
             overrides["chunk_size"] = args.chunk_size
         if args.backend is not None:
             overrides["backend"] = args.backend
+        if args.shared_memory:
+            overrides["shared_memory"] = True
         if overrides:
             engine = dataclasses.replace(engine, **overrides)
     except ValueError as exc:
@@ -194,7 +196,8 @@ def cmd_dispatch(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         launcher=SubprocessLauncher(executor=args.executor, workers=args.workers,
                                     chunk_size=args.chunk_size,
-                                    backend=args.backend),
+                                    backend=args.backend,
+                                    shared_memory=args.shared_memory),
         timeout=args.timeout,
         max_retries=args.max_retries,
         backoff_seconds=args.backoff,
@@ -249,6 +252,10 @@ def register_shard_commands(commands) -> None:
     run.add_argument("--backend", default=None, choices=BACKEND_NAMES,
                      help="array backend for the kernel modules "
                           "(default: REPRO_ARRAY_BACKEND or numpy)")
+    run.add_argument("--shared-memory", action="store_true",
+                     help="ship process-executor chunk datasets through "
+                          "multiprocessing.shared_memory (default: "
+                          "REPRO_BATCH_SHM or off)")
     run.add_argument("--out", default=None,
                      help="shard result path (default: next to the manifest)")
     run.set_defaults(handler=cmd_run)
@@ -284,6 +291,8 @@ def register_shard_commands(commands) -> None:
                           help="chunk size forwarded to every shard runner")
     dispatch.add_argument("--backend", default=None, choices=BACKEND_NAMES,
                           help="array backend forwarded to every shard runner")
+    dispatch.add_argument("--shared-memory", action="store_true",
+                          help="forward --shared-memory to every shard runner")
     dispatch.add_argument("--timeout", type=float, default=None,
                           help="per-shard wall-clock budget per attempt (seconds)")
     dispatch.add_argument("--max-retries", type=int, default=2,

@@ -538,6 +538,8 @@ def _record_meta(record: JobRecord) -> dict[str, Any]:
             key: _hex_float(value) for key, value in record.passivity.items()
         },
         "cache_status": record.cache_status,
+        "response_hits": int(record.response_hits),
+        "response_misses": int(record.response_misses),
         "error_type": record.error_type,
         "error_message": record.error_message,
         "error_traceback": record.error_traceback,
@@ -657,6 +659,9 @@ def _record_from_meta(meta: dict[str, Any], arrays: dict[str, np.ndarray]) -> Jo
             for key, value in meta.get("passivity", {}).items()
         },
         cache_status=meta["cache_status"],
+        # absent in archives written before the response cache landed
+        response_hits=int(meta.get("response_hits", 0)),
+        response_misses=int(meta.get("response_misses", 0)),
         error_type=meta["error_type"],
         error_message=meta["error_message"],
         error_traceback=meta["error_traceback"],

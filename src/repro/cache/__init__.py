@@ -14,7 +14,11 @@ Pieces, bottom-up:
 * :mod:`repro.cache.stores` -- :class:`MemoryStore` (bounded LRU) and
   :class:`DiskStore` (compressed NPZ + JSON sidecars, corruption-safe),
 * :mod:`repro.cache.fitcache` -- :class:`FitCache` (counters, env kill
-  switch) and :func:`fit_with_cache`, the single cached dispatch path.
+  switch) and :func:`fit_with_cache`, the single cached dispatch path,
+* :mod:`repro.cache.interning` -- content-addressed dataset interning
+  (:class:`DatasetPool`), the pickle-level :class:`JobTable` chunk codec
+  (optionally zero-copy via :class:`SharedDatasetArena`), and the cross-job
+  :class:`ResponseCache` keyed on (system fingerprint, grid fingerprint).
 
 Transparent integration::
 
@@ -38,9 +42,19 @@ from repro.cache.fingerprint import (
     dataset_fingerprint,
     evaluation_key,
     fit_key,
+    grid_fingerprint,
     options_fingerprint,
+    system_fingerprint,
 )
 from repro.cache.fitcache import CacheStats, FitCache, cache_disabled_by_env, fit_with_cache
+from repro.cache.interning import (
+    DatasetPool,
+    JobTable,
+    ResponseCache,
+    ResponseTally,
+    SharedDatasetArena,
+    dataset_nbytes,
+)
 from repro.cache.serialization import (
     PAYLOAD_SCHEMA_VERSION,
     UncacheableResultError,
@@ -51,10 +65,18 @@ from repro.cache.stores import CacheStore, DiskStore, MemoryStore
 
 __all__ = [
     "dataset_fingerprint",
+    "grid_fingerprint",
+    "system_fingerprint",
     "options_fingerprint",
     "fit_key",
     "evaluation_key",
     "combined_fingerprint",
+    "DatasetPool",
+    "JobTable",
+    "SharedDatasetArena",
+    "ResponseCache",
+    "ResponseTally",
+    "dataset_nbytes",
     "CacheStore",
     "MemoryStore",
     "DiskStore",

@@ -29,6 +29,8 @@ from repro.data.dataset import FrequencyData
 
 __all__ = [
     "dataset_fingerprint",
+    "grid_fingerprint",
+    "system_fingerprint",
     "options_fingerprint",
     "fit_key",
     "evaluation_key",
@@ -71,6 +73,78 @@ def dataset_fingerprint(data: FrequencyData) -> str:
     _hash_array(digest, "samples", data.samples)
     fingerprint = digest.hexdigest()
     object.__setattr__(data, "_fingerprint_memo", fingerprint)  # frozen dataclass
+    return fingerprint
+
+
+def grid_fingerprint(data: FrequencyData) -> str:
+    """SHA-256 hex digest of *only* the frequency grid of ``data``.
+
+    Two datasets that differ in samples, kind or reference impedance but
+    share a bitwise-identical frequency axis get the same grid fingerprint.
+    This is the evaluation-side half of a response-cache key: a model sweep
+    ``model.frequency_response(data.frequencies_hz)`` depends on the grid
+    alone, so jobs whose validation datasets share a grid can share the
+    sweep.  Memoized on the instance like :func:`dataset_fingerprint` (the
+    arrays are frozen read-only).
+    """
+    if not isinstance(data, FrequencyData):
+        raise TypeError(f"expected FrequencyData, got {type(data).__name__}")
+    memo = getattr(data, "_grid_fingerprint_memo", None)
+    if memo is not None:
+        return memo
+    digest = hashlib.sha256()
+    digest.update(f"repro-grid-v{_FINGERPRINT_VERSION}|".encode())
+    _hash_array(digest, "frequencies_hz", data.frequencies_hz)
+    fingerprint = digest.hexdigest()
+    object.__setattr__(data, "_grid_fingerprint_memo", fingerprint)  # frozen dataclass
+    return fingerprint
+
+
+def system_fingerprint(model) -> str:
+    """SHA-256 hex digest of the numerical content of a fitted model.
+
+    Accepts either realization the pipeline produces, duck-typed:
+
+    * a descriptor system (``E``/``A``/``B``/``C``/``D`` matrices), or
+    * a pole-residue model (``poles``/``residues`` and optional ``d`` term).
+
+    Together with :func:`grid_fingerprint` this addresses one reference
+    sweep ``model.frequency_response(grid)`` -- the response-cache key.
+
+    The digest is memoized on the instance where the class allows attribute
+    writes.  That is safe under the repo-wide convention that fitted models
+    are immutable after construction (every transform builds a new object);
+    callers that mutate a model in place must not rely on its fingerprint.
+    """
+    memo = getattr(model, "_system_fingerprint_memo", None)
+    if memo is not None:
+        return memo
+    digest = hashlib.sha256()
+    digest.update(f"repro-model-v{_FINGERPRINT_VERSION}|".encode())
+    if all(hasattr(model, name) for name in ("E", "A", "B", "C")):
+        digest.update(b"descriptor|")
+        for name in ("E", "A", "B", "C"):
+            _hash_array(digest, name, np.asarray(getattr(model, name)))
+        feedthrough = getattr(model, "D", None)
+        if feedthrough is not None:
+            _hash_array(digest, "D", np.asarray(feedthrough))
+    elif hasattr(model, "poles") and hasattr(model, "residues"):
+        digest.update(b"pole-residue|")
+        _hash_array(digest, "poles", np.asarray(model.poles))
+        _hash_array(digest, "residues", np.asarray(model.residues))
+        constant = getattr(model, "d", None)
+        if constant is not None:
+            _hash_array(digest, "d", np.asarray(constant))
+    else:
+        raise TypeError(
+            f"cannot fingerprint {type(model).__name__}: expected a descriptor "
+            "system (E/A/B/C[/D]) or a pole-residue model (poles/residues[/d])"
+        )
+    fingerprint = digest.hexdigest()
+    try:
+        object.__setattr__(model, "_system_fingerprint_memo", fingerprint)
+    except (AttributeError, TypeError):
+        pass  # __slots__ or otherwise write-protected: recompute next time
     return fingerprint
 
 

@@ -222,7 +222,7 @@ class FitCache:
             self._evictions += int(evicted)
         return True
 
-    def cached_aggregate_error(self, fit: str, result, data) -> float:
+    def cached_aggregate_error(self, fit: str, result, data, *, compute=None) -> float:
         """The aggregate error of a (cached) fit against ``data``, memoized.
 
         The error is a pure function of the model (pinned by the ``fit``
@@ -235,7 +235,10 @@ class FitCache:
         A memoization miss computes the error through
         :func:`repro.metrics.errors.model_aggregate_error` -- the same
         vectorized-kernel code path uncached evaluations take -- so memoized
-        and fresh values are the result of one implementation.
+        and fresh values are the result of one implementation.  ``compute``
+        optionally replaces that default with a caller-supplied thunk (the
+        batch layer passes one that reuses response-cache sweeps); it runs
+        only on a memoization miss, so hits stay free either way.
         """
         key = evaluation_key(fit, data)
         with self._lock:
@@ -252,7 +255,10 @@ class FitCache:
                     return float(meta["error"])
             except (KeyError, TypeError, ValueError):
                 pass  # corrupt evaluation entry: recompute and overwrite
-        value = float(model_aggregate_error(result.system, data))
+        if compute is None:
+            value = float(model_aggregate_error(result.system, data))
+        else:
+            value = float(compute())
         meta = {
             "schema_version": PAYLOAD_SCHEMA_VERSION,
             "kind": "evaluation",

@@ -1,0 +1,573 @@
+"""Content-addressed dataset interning and the cross-job response cache.
+
+Every scenario grid shares a handful of :class:`~repro.data.dataset.FrequencyData`
+objects across dozens of jobs, yet each transport boundary used to re-ship
+and each job used to re-evaluate them.  This module provides the shared
+building blocks that fix that, keyed on the existing SHA-256 content
+fingerprints:
+
+* :class:`DatasetPool` -- an intern table keyed by
+  :func:`~repro.cache.fingerprint.dataset_fingerprint` with byte accounting
+  and a memoized wire-document codec (so the serve protocol encodes and
+  decodes each unique dataset once, not once per job).
+* :class:`JobTable` -- a pickle-level codec that splits a chunk of
+  ``(index, FitJob)`` pairs into (unique datasets, jobs-with-fingerprint-refs)
+  so the process executor ships each unique dataset once per chunk.
+* :class:`SharedDatasetArena` -- optional zero-copy transport for the large
+  arrays via :mod:`multiprocessing.shared_memory`, with a plain-pickle
+  fallback per dataset and fingerprint-verified, bitwise-identical
+  reconstruction on the worker side.
+* :class:`ResponseCache` / :class:`ResponseTally` -- the cross-job response
+  cache keyed on ``(system fingerprint, grid fingerprint)`` memoizing
+  reference sweeps, plus the model-independent SVD norms of a reference
+  dataset, so jobs sharing a validation dataset reuse one evaluation.
+
+Nothing here changes any numerical path: cached values are the same arrays
+the direct computation would produce (computed once, frozen read-only), so
+results stay bitwise-identical with interning on or off.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cache.fingerprint import (
+    dataset_fingerprint,
+    grid_fingerprint,
+    system_fingerprint,
+)
+from repro.data.dataset import FrequencyData
+
+__all__ = [
+    "DatasetPool",
+    "JobTable",
+    "SharedDatasetArena",
+    "ResponseCache",
+    "ResponseTally",
+    "dataset_nbytes",
+]
+
+
+def dataset_nbytes(data: FrequencyData) -> int:
+    """Payload size of one dataset: frequency and sample array bytes."""
+    return int(data.frequencies_hz.nbytes) + int(data.samples.nbytes)
+
+
+class DatasetPool:
+    """Intern table for datasets, keyed by content fingerprint.
+
+    ``intern`` maps a dataset to its fingerprint and keeps the *first*
+    instance seen for each; ``get`` resolves a fingerprint back to that
+    instance.  The pool also memoizes wire documents (the base64 encoding
+    used by :mod:`repro.serve.protocol`) per fingerprint, so encoding a
+    24-job batch over one dataset hashes and base64-encodes it once --
+    ``encode_hits``/``encode_misses`` count exactly that.
+
+    Byte accounting: ``total_bytes`` sums the payload of every intern call
+    (what a naive per-job transport would ship), ``unique_bytes`` sums each
+    unique dataset once; the difference is what interning saved.
+
+    Thread-safe; safe to share across a server's request handlers.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._datasets: Dict[str, FrequencyData] = {}
+        self._documents: Dict[str, dict] = {}
+        self.interned = 0
+        self.total_bytes = 0
+        self.unique_bytes = 0
+        self.encode_hits = 0
+        self.encode_misses = 0
+        self.decode_hits = 0
+        self.decode_misses = 0
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def __contains__(self, fingerprint: str) -> bool:
+        with self._lock:
+            return fingerprint in self._datasets
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._datasets)
+
+    @property
+    def bytes_saved(self) -> int:
+        """Payload bytes a per-consultation transport would have re-shipped."""
+        return self.total_bytes - self.unique_bytes
+
+    def intern(self, data: FrequencyData) -> str:
+        """Intern ``data``; return its fingerprint (the ref everything uses)."""
+        fingerprint = dataset_fingerprint(data)
+        size = dataset_nbytes(data)
+        with self._lock:
+            self.interned += 1
+            self.total_bytes += size
+            if fingerprint not in self._datasets:
+                self._datasets[fingerprint] = data
+                self.unique_bytes += size
+        return fingerprint
+
+    def get(self, fingerprint: str) -> Optional[FrequencyData]:
+        """The interned dataset for ``fingerprint``, or ``None``."""
+        with self._lock:
+            return self._datasets.get(fingerprint)
+
+    def document_for(self, fingerprint: str) -> Optional[dict]:
+        """The memoized wire document for ``fingerprint``, or ``None``."""
+        with self._lock:
+            return self._documents.get(fingerprint)
+
+    def document(self, data: FrequencyData, build: Callable[[FrequencyData], dict]) -> dict:
+        """Memoized wire document for ``data`` (``build`` runs once per content).
+
+        The returned dict is shared between calls; callers must treat it as
+        immutable (the serve encoder embeds it verbatim in batch documents).
+        """
+        fingerprint = self.intern(data)
+        with self._lock:
+            document = self._documents.get(fingerprint)
+        if document is not None:
+            with self._lock:
+                self.encode_hits += 1
+            return document
+        document = build(data)
+        with self._lock:
+            self._documents.setdefault(fingerprint, document)
+            self.encode_misses += 1
+        return document
+
+    def decoded(self, spec: dict, build: Callable[[dict], FrequencyData]) -> FrequencyData:
+        """Memoized wire decode: identical documents decode to one instance.
+
+        A repeated document (same fingerprint, equal content) returns the
+        dataset interned on first decode -- downstream consumers then share
+        one instance, which the pickle memo and :class:`JobTable` dedupe in
+        turn.  ``build`` must verify the document (the protocol decoder
+        checks the embedded fingerprint against the rebuilt arrays).
+        """
+        fingerprint = spec.get("fingerprint")
+        if isinstance(fingerprint, str):
+            with self._lock:
+                known = self._documents.get(fingerprint)
+                data = self._datasets.get(fingerprint)
+            if data is not None and known == spec:
+                with self._lock:
+                    self.decode_hits += 1
+                return data
+        data = build(spec)
+        fingerprint = self.intern(data)
+        with self._lock:
+            self._documents.setdefault(fingerprint, dict(spec))
+            self.decode_misses += 1
+        return data
+
+    def stats(self) -> dict:
+        """Counter snapshot (used by benches and the serve ``/stats`` page)."""
+        with self._lock:
+            return {
+                "datasets": len(self._datasets),
+                "interned": self.interned,
+                "total_bytes": self.total_bytes,
+                "unique_bytes": self.unique_bytes,
+                "bytes_saved": self.total_bytes - self.unique_bytes,
+                "encode_hits": self.encode_hits,
+                "encode_misses": self.encode_misses,
+                "decode_hits": self.decode_hits,
+                "decode_misses": self.decode_misses,
+            }
+
+
+# --------------------------------------------------------------------------- #
+# shared-memory transport
+# --------------------------------------------------------------------------- #
+
+
+def _array_meta(name: str, array: np.ndarray) -> dict:
+    return {
+        "name": name,
+        "dtype": array.dtype.str,
+        "shape": list(array.shape),
+        "nbytes": int(array.nbytes),
+    }
+
+
+class SharedDatasetArena:
+    """One ``multiprocessing.shared_memory`` segment per unique dataset.
+
+    The parent creates segments up front (one per unique dataset per batch),
+    workers attach read-only and copy the bytes out, and the parent alone
+    unlinks in :meth:`cleanup` after the futures complete.  Creation failures
+    (no ``/dev/shm``, permissions, exhausted space) degrade per dataset to
+    the plain-pickle entry -- the arena never makes a run fail.
+
+    Caveats (also documented in the README): segments are named kernel
+    objects; if the *parent* is SIGKILLed between create and cleanup the
+    segments leak until the OS reaps ``/dev/shm`` (Python's resource tracker
+    handles normal interpreter exits).  On Python <= 3.12 the worker-side
+    attach registers with the resource tracker too, which would unlink
+    segments the parent still owns when the worker exits -- the attach
+    helper therefore unregisters after copying (``track=False`` exists only
+    on 3.13+).
+    """
+
+    def __init__(self):
+        self._segments: Dict[str, "object"] = {}  # fingerprint -> SharedMemory
+
+    def entry_for(self, fingerprint: str, data: FrequencyData) -> dict:
+        """A ``{"shm": ...}`` table entry for ``data``, creating the segment.
+
+        Raises on any shared-memory failure; :meth:`JobTable.pack` catches
+        and falls back to pickling that dataset.
+        """
+        from multiprocessing import shared_memory
+
+        shm = self._segments.get(fingerprint)
+        freqs = np.ascontiguousarray(data.frequencies_hz)
+        samples = np.ascontiguousarray(data.samples)
+        if shm is None:
+            size = freqs.nbytes + samples.nbytes
+            shm = shared_memory.SharedMemory(create=True, size=max(size, 1))
+            shm.buf[: freqs.nbytes] = freqs.tobytes()
+            shm.buf[freqs.nbytes : freqs.nbytes + samples.nbytes] = samples.tobytes()
+            self._segments[fingerprint] = shm
+        return {
+            "segment": shm.name,
+            "fingerprint": fingerprint,
+            "kind": data.kind,
+            "reference_impedance": float(data.reference_impedance),
+            "label": data.label,
+            "frequencies_hz": _array_meta("frequencies_hz", freqs),
+            "samples": _array_meta("samples", samples),
+        }
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    @property
+    def shared_bytes(self) -> int:
+        return sum(shm.size for shm in self._segments.values())
+
+    def cleanup(self) -> None:
+        """Close and unlink every segment (parent side, after the batch)."""
+        segments, self._segments = self._segments, {}
+        for shm in segments.values():
+            try:
+                shm.close()
+                shm.unlink()
+            except (OSError, FileNotFoundError):  # already reaped: nothing to leak
+                pass
+
+
+def _dataset_from_shared(entry: dict) -> FrequencyData:
+    """Worker-side reconstruction of a shared-memory table entry.
+
+    Copies the bytes out (the segment outlives no chunk), closes the local
+    mapping, and -- when the worker runs under a non-``fork`` start method,
+    i.e. owns a private resource tracker -- unregisters the attach-side
+    tracker entry so the worker's tracker cannot unlink a segment the parent
+    still owns (Python <= 3.12 registers on attach as well as create).
+    Under ``fork`` the tracker is shared with the parent and registration is
+    idempotent, so the parent's ``unlink`` is the single clean unregister.
+    """
+    import multiprocessing
+    from multiprocessing import resource_tracker, shared_memory
+
+    shm = shared_memory.SharedMemory(name=entry["segment"])
+    try:
+        blobs = []
+        offset = 0
+        for key in ("frequencies_hz", "samples"):
+            spec = entry[key]
+            nbytes = int(spec["nbytes"])
+            view = shm.buf[offset : offset + nbytes]
+            try:
+                blob = bytes(view)
+            finally:
+                if isinstance(view, memoryview):
+                    view.release()
+            array = np.frombuffer(blob, dtype=np.dtype(spec["dtype"])).reshape(spec["shape"])
+            blobs.append(array)
+            offset += nbytes
+    finally:
+        shm.close()
+        try:  # attach registered us with the tracker on <= 3.12; undo it
+            if multiprocessing.get_start_method() != "fork":
+                resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+    return FrequencyData(
+        frequencies_hz=blobs[0],
+        samples=blobs[1],
+        kind=entry["kind"],
+        reference_impedance=entry["reference_impedance"],
+        label=entry["label"],
+    )
+
+
+# --------------------------------------------------------------------------- #
+# the job-plane codec
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class JobTable:
+    """A chunk of jobs split into (unique datasets, jobs with dataset refs).
+
+    What the process executor pickles per chunk: each unique dataset appears
+    once in ``datasets`` -- as a ``("pickle", FrequencyData)`` entry or a
+    ``("shm", meta)`` shared-memory descriptor -- and each job stub
+    references its data/reference by fingerprint.  :meth:`unpack` rebuilds
+    ``(index, FitJob)`` pairs on the worker, resolving refs through an
+    optional worker-persistent :class:`DatasetPool` so later chunks skip
+    reconstruction (and re-verification) of datasets already seen.
+
+    Shared-memory reconstructions are fingerprint-verified on first sight,
+    which pins them bitwise to the originals.
+    """
+
+    jobs: Tuple[dict, ...]
+    datasets: Dict[str, tuple]
+
+    @classmethod
+    def pack(
+        cls, chunk: Sequence[tuple], *, arena: Optional[SharedDatasetArena] = None
+    ) -> "JobTable":
+        """Pack ``(index, FitJob)`` pairs; ``arena`` opts datasets into shm."""
+        datasets: Dict[str, tuple] = {}
+        stubs: List[dict] = []
+
+        def ref(data: Optional[FrequencyData]) -> Optional[str]:
+            if data is None:
+                return None
+            fingerprint = dataset_fingerprint(data)
+            if fingerprint not in datasets:
+                entry: Optional[tuple] = None
+                if arena is not None:
+                    try:
+                        entry = ("shm", arena.entry_for(fingerprint, data))
+                    except Exception:
+                        entry = None  # per-dataset fallback below
+                if entry is None:
+                    entry = ("pickle", data)
+                datasets[fingerprint] = entry
+            return fingerprint
+
+        for index, job in chunk:
+            stubs.append(
+                {
+                    "index": int(index),
+                    "method": job.method,
+                    "options": job.options,
+                    "label": job.label,
+                    "tags": job.tags,
+                    "data": ref(job.data),
+                    "reference": ref(job.reference),
+                    "time_domain": job.time_domain,
+                    "passivity": job.passivity,
+                }
+            )
+        return cls(jobs=tuple(stubs), datasets=datasets)
+
+    def unpack(self, *, pool: Optional[DatasetPool] = None) -> List[tuple]:
+        """Rebuild the ``(index, FitJob)`` pairs (worker side)."""
+        from repro.batch.jobs import FitJob
+
+        local: Dict[str, FrequencyData] = {}
+
+        def resolve(fingerprint: Optional[str]) -> Optional[FrequencyData]:
+            if fingerprint is None:
+                return None
+            data = local.get(fingerprint)
+            if data is None and pool is not None:
+                data = pool.get(fingerprint)
+            if data is None:
+                try:
+                    tag, payload = self.datasets[fingerprint]
+                except KeyError:
+                    raise ValueError(
+                        f"job table references unknown dataset {fingerprint!r}"
+                    ) from None
+                if tag == "shm":
+                    data = _dataset_from_shared(payload)
+                    if dataset_fingerprint(data) != fingerprint:
+                        raise ValueError(
+                            f"shared-memory dataset {fingerprint!r} reconstructed "
+                            "with a different fingerprint"
+                        )
+                else:
+                    data = payload
+                if pool is not None:
+                    pool.intern(data)
+            local[fingerprint] = data
+            return data
+
+        pairs = []
+        for stub in self.jobs:
+            job = FitJob(
+                data=resolve(stub["data"]),
+                method=stub["method"],
+                options=stub["options"],
+                label=stub["label"],
+                tags=stub["tags"],
+                reference=resolve(stub["reference"]),
+                time_domain=stub["time_domain"],
+                passivity=stub["passivity"],
+            )
+            pairs.append((stub["index"], job))
+        return pairs
+
+    def payload_nbytes(self) -> int:
+        """Pickled size of this table (what actually crosses the pipe)."""
+        return len(pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+# --------------------------------------------------------------------------- #
+# the cross-job response cache
+# --------------------------------------------------------------------------- #
+
+
+class ResponseCache:
+    """Memoizes reference-sweep evaluations shared across jobs in a batch.
+
+    Two memo tables, both bounded LRU:
+
+    * ``norms``: ``dataset_fingerprint ->`` the per-frequency largest
+      singular values of the dataset (the model-independent denominator of
+      every relative-error metric) -- one SVD sweep per unique validation
+      dataset per batch instead of one per job.
+    * ``sweeps``: ``(system_fingerprint, grid_fingerprint) -> model sweep``
+      over that grid -- ``error_vs_reference`` and ``time_domain_metrics``
+      for a job share one sweep when data and reference share a grid.
+
+    Methods return ``(value, status)`` with status ``"hit"``/``"miss"``;
+    cached arrays are frozen read-only and must not be mutated.  Values are
+    computed by the same code the uncached path runs, so results are
+    bitwise-identical either way.  Thread-safe (the thread executor shares
+    one instance across workers); pickling resets the lock and keeps the
+    entries.
+    """
+
+    def __init__(self, max_entries: int = 128):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = int(max_entries)
+        self._lock = threading.Lock()
+        self._norms: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self._sweeps: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+        self.norm_hits = 0
+        self.norm_misses = 0
+        self.sweep_hits = 0
+        self.sweep_misses = 0
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def _lookup(self, table: OrderedDict, key) -> Optional[np.ndarray]:
+        with self._lock:
+            value = table.get(key)
+            if value is not None:
+                table.move_to_end(key)
+            return value
+
+    def _store(self, table: OrderedDict, key, value: np.ndarray) -> np.ndarray:
+        value = np.ascontiguousarray(value)
+        value.setflags(write=False)
+        with self._lock:
+            kept = table.setdefault(key, value)
+            table.move_to_end(key)
+            while len(table) > self.max_entries:
+                table.popitem(last=False)
+        return kept
+
+    def reference_norms(self, data: FrequencyData) -> Tuple[np.ndarray, str]:
+        """Per-frequency largest singular values of ``data`` (memoized)."""
+        from repro.metrics.errors import reference_norms
+
+        key = dataset_fingerprint(data)
+        value = self._lookup(self._norms, key)
+        if value is not None:
+            with self._lock:
+                self.norm_hits += 1
+            return value, "hit"
+        value = self._store(self._norms, key, reference_norms(data.samples))
+        with self._lock:
+            self.norm_misses += 1
+        return value, "miss"
+
+    def model_sweep(self, model, data: FrequencyData) -> Tuple[np.ndarray, str]:
+        """``model.frequency_response(data.frequencies_hz)`` (memoized)."""
+        key = (system_fingerprint(model), grid_fingerprint(data))
+        value = self._lookup(self._sweeps, key)
+        if value is not None:
+            with self._lock:
+                self.sweep_hits += 1
+            return value, "hit"
+        sweep = np.asarray(model.frequency_response(data.frequencies_hz))
+        value = self._store(self._sweeps, key, sweep)
+        with self._lock:
+            self.sweep_misses += 1
+        return value, "miss"
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "norm_hits": self.norm_hits,
+                "norm_misses": self.norm_misses,
+                "sweep_hits": self.sweep_hits,
+                "sweep_misses": self.sweep_misses,
+                "norm_entries": len(self._norms),
+                "sweep_entries": len(self._sweeps),
+            }
+
+
+class ResponseTally:
+    """Per-job view of a shared :class:`ResponseCache` with hit/miss counts.
+
+    ``run_job`` hands one of these to the metric layers; the counts end up
+    on the :class:`~repro.batch.jobs.JobRecord` next to the fit-cache
+    status.  Returns plain arrays (status folded into the counters).
+    """
+
+    __slots__ = ("cache", "hits", "misses")
+
+    def __init__(self, cache: ResponseCache):
+        self.cache = cache
+        self.hits = 0
+        self.misses = 0
+
+    def _count(self, status: str) -> None:
+        if status == "hit":
+            self.hits += 1
+        else:
+            self.misses += 1
+
+    def reference_norms(self, data: FrequencyData) -> np.ndarray:
+        value, status = self.cache.reference_norms(data)
+        self._count(status)
+        return value
+
+    def model_sweep(self, model, data: FrequencyData) -> np.ndarray:
+        value, status = self.cache.model_sweep(model, data)
+        self._count(status)
+        return value

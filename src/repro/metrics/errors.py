@@ -23,6 +23,7 @@ from repro.systems.statespace import DescriptorSystem
 
 __all__ = [
     "relative_error_per_frequency",
+    "reference_norms",
     "aggregate_error",
     "max_relative_error",
     "entrywise_rms_error",
@@ -40,11 +41,29 @@ def _stack(samples) -> np.ndarray:
     return arr
 
 
-def relative_error_per_frequency(model_samples, reference_samples) -> np.ndarray:
+def reference_norms(reference_samples) -> np.ndarray:
+    """Per-frequency spectral norms ``||S(f_i)||_2`` of a sample stack.
+
+    This is the model-independent denominator of every relative-error
+    metric; it depends only on the reference dataset, so jobs sharing a
+    validation dataset can compute it once (the response cache memoizes it
+    by dataset fingerprint).
+    """
+    reference = _stack(reference_samples)
+    if reference.shape[0] == 0:
+        return np.empty(0)
+    return np.linalg.svd(reference, compute_uv=False)[..., 0]
+
+
+def relative_error_per_frequency(model_samples, reference_samples, *, norms=None) -> np.ndarray:
     """Per-frequency spectral-norm relative error ``err_i`` (paper Section 5).
 
     Frequencies where the reference matrix is exactly zero contribute the
     absolute (un-normalised) error instead, so the result stays finite.
+
+    ``norms`` optionally supplies precomputed :func:`reference_norms` of
+    ``reference_samples`` (same values, computed by the same code), so a
+    batch of jobs sharing one reference runs its SVD sweep once.
     """
     model = _stack(model_samples)
     reference = _stack(reference_samples)
@@ -57,7 +76,12 @@ def relative_error_per_frequency(model_samples, reference_samples) -> np.ndarray
     # spectral norms of the whole stack in one batched SVD each (the same
     # per-slice LAPACK factorization np.linalg.norm(..., 2) runs one by one)
     num = np.linalg.svd(model - reference, compute_uv=False)[..., 0]
-    denom = np.linalg.svd(reference, compute_uv=False)[..., 0]
+    if norms is not None:
+        denom = np.asarray(norms)
+    else:
+        denom = np.linalg.svd(reference, compute_uv=False)[..., 0]
+    if denom.shape != num.shape:
+        raise ValueError(f"norms shape {denom.shape} does not match sweep {num.shape}")
     return np.where(denom == 0.0, num, num / np.where(denom == 0.0, 1.0, denom))
 
 
@@ -82,7 +106,9 @@ def entrywise_rms_error(model_samples, reference_samples) -> float:
     return float(np.sqrt(np.mean(np.abs(model - reference) ** 2)))
 
 
-def model_errors(model: DescriptorSystem, reference: FrequencyData) -> np.ndarray:
+def model_errors(
+    model: DescriptorSystem, reference: FrequencyData, *, response=None, norms=None
+) -> np.ndarray:
     """Per-frequency relative errors of ``model`` against a reference data set.
 
     The model is evaluated through the shared sweep kernel
@@ -92,12 +118,21 @@ def model_errors(model: DescriptorSystem, reference: FrequencyData) -> np.ndarra
     :meth:`MacromodelResult.errors_against
     <repro.core.results.MacromodelResult.errors_against>` and the fit
     cache's evaluation memoization.
+
+    ``response`` and ``norms`` optionally supply the precomputed model sweep
+    over ``reference.frequencies_hz`` and the precomputed
+    :func:`reference_norms` of the reference -- the cross-job response
+    cache's reuse points.  Both default to computing in place through the
+    identical code path, so supplying them never changes the result.
     """
-    response = model.frequency_response(reference.frequencies_hz)
-    return relative_error_per_frequency(response, reference.samples)
+    if response is None:
+        response = model.frequency_response(reference.frequencies_hz)
+    return relative_error_per_frequency(response, reference.samples, norms=norms)
 
 
-def model_aggregate_error(model: DescriptorSystem, reference: FrequencyData) -> float:
+def model_aggregate_error(
+    model: DescriptorSystem, reference: FrequencyData, *, response=None, norms=None
+) -> float:
     """The paper's aggregate ``ERR`` of ``model`` against a reference data set."""
-    errors = model_errors(model, reference)
+    errors = model_errors(model, reference, response=response, norms=norms)
     return float(np.linalg.norm(errors) / np.sqrt(errors.size))

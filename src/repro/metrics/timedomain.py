@@ -192,7 +192,9 @@ def ringing_ratio(step: np.ndarray) -> float:
     return float(np.max(deviation) / max(float(np.linalg.norm(final)), tiny))
 
 
-def time_domain_metrics(model, reference: FrequencyData, spec: TimeDomainSpec) -> dict[str, float]:
+def time_domain_metrics(
+    model, reference: FrequencyData, spec: TimeDomainSpec, *, model_samples=None
+) -> dict[str, float]:
     """The time-domain validation columns of one model vs one reference sweep.
 
     Both the model (evaluated at the reference's frequencies through the
@@ -204,12 +206,20 @@ def time_domain_metrics(model, reference: FrequencyData, spec: TimeDomainSpec) -
     ``model`` is anything with ``frequency_response`` and a feed-through
     (``D``/``d``): descriptor systems, pole-residue models.  Returns the
     :data:`TIME_DOMAIN_METRIC_KEYS` dict.
+
+    ``model_samples`` optionally supplies the precomputed sweep of ``model``
+    over the reference's frequencies (the response cache's reuse point); it
+    must equal what ``model.frequency_response`` would return, and the
+    default computes exactly that.
     """
     from repro.systems.spectral import _feedthrough  # shared duck-typed accessor
 
     grid = spec.build_grid()
     freqs = np.asarray(reference.frequencies_hz, dtype=float).ravel()
-    model_samples = np.asarray(model.frequency_response(freqs))
+    if model_samples is None:
+        model_samples = np.asarray(model.frequency_response(freqs))
+    else:
+        model_samples = np.asarray(model_samples)
     feedthrough = _feedthrough(model)
     def gridded(samples):
         return grid_nonuniform_spectrum(

@@ -39,6 +39,7 @@ from typing import Any, Optional, Sequence
 
 from repro.batch.engine import BatchEngine
 from repro.batch.jobs import FitJob, JobRecord, run_job
+from repro.cache.interning import ResponseCache
 from repro.serve.protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
@@ -86,6 +87,10 @@ class FitService:
         )
         self._inflight: dict[str, asyncio.Task] = {}
         self._active: set[asyncio.Task] = set()
+        # one service-wide cross-job response cache (None when the engine
+        # disables it): reference sweeps shared across every submission the
+        # service ever handles, exactly like the engine shares one per batch
+        self.responses = ResponseCache() if self.engine.response_cache else None
         self.counters: dict[str, int] = {
             "submitted": 0,   # jobs accepted into batches
             "completed": 0,   # record answers streamed with status "ok"
@@ -165,7 +170,12 @@ class FitService:
         return await loop.run_in_executor(
             self._pool,
             functools.partial(
-                run_job, 0, job, self.engine.cache, backend=self.engine.backend
+                run_job,
+                0,
+                job,
+                self.engine.cache,
+                backend=self.engine.backend,
+                responses=self.responses,
             ),
         )
 
@@ -201,6 +211,9 @@ class FitService:
                 self.engine.cache.stats().to_dict()
                 if self.engine.cache is not None
                 else None
+            ),
+            "responses": (
+                self.responses.stats() if self.responses is not None else None
             ),
         }
         return document

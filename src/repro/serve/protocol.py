@@ -14,6 +14,14 @@ Records travel without their numerical payloads (the model matrices stay on
 the server, exactly like :meth:`JobRecord.to_dict` excludes them); the scalar
 errors use exact ``float.hex`` tokens so a served record compares bitwise
 equal to its locally computed twin.
+
+Protocol version 2 adds a batch-level **dataset table**: the submit body
+carries each unique dataset once under ``"datasets"`` (keyed by fingerprint)
+and jobs reference them via ``"data_ref"``/``"reference_ref"``, so an N-job
+sweep over one system ships its arrays once instead of N times.  The decoder
+verifies every table entry against its fingerprint key and still accepts
+version-1 documents (inline per-job datasets), deduplicating identical
+inline datasets through the same :class:`~repro.cache.DatasetPool`.
 """
 
 from __future__ import annotations
@@ -27,6 +35,7 @@ from repro.batch.jobs import FitJob, JobRecord
 from repro.batch.results import BatchResult
 from repro.batch.sharding import job_fingerprint
 from repro.cache.fingerprint import combined_fingerprint, dataset_fingerprint
+from repro.cache.interning import DatasetPool
 from repro.core.options import options_from_items
 from repro.data.dataset import FrequencyData
 from repro.metrics.timedomain import TimeDomainSpec
@@ -34,6 +43,7 @@ from repro.vectorfitting.enforcement import PassivitySpec
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "SUPPORTED_PROTOCOL_VERSIONS",
     "ProtocolError",
     "encode_dataset",
     "decode_dataset",
@@ -47,9 +57,13 @@ __all__ = [
     "is_deduplicatable",
 ]
 
-#: Bump whenever any wire document changes shape; client and server refuse to
-#: mix versions (the shard layer's schema discipline, applied to HTTP).
-PROTOCOL_VERSION = 1
+#: Bump whenever any wire document changes shape (the shard layer's schema
+#: discipline, applied to HTTP).  Version 2 introduced the batch-level
+#: dataset table; version-1 documents (inline per-job datasets) still decode.
+PROTOCOL_VERSION = 2
+
+#: Document versions :func:`decode_batch` accepts.
+SUPPORTED_PROTOCOL_VERSIONS = (1, 2)
 
 
 class ProtocolError(ValueError):
@@ -79,8 +93,7 @@ def _array_from_spec(spec: dict[str, Any]) -> np.ndarray:
         raise ProtocolError(f"malformed array spec: {exc}") from exc
 
 
-def encode_dataset(data: FrequencyData) -> dict[str, Any]:
-    """Encode one :class:`FrequencyData` (arrays + metadata + fingerprint)."""
+def _build_dataset_document(data: FrequencyData) -> dict[str, Any]:
     return {
         "kind": data.kind,
         "reference_impedance": float(data.reference_impedance).hex(),
@@ -91,8 +104,20 @@ def encode_dataset(data: FrequencyData) -> dict[str, Any]:
     }
 
 
-def decode_dataset(spec: dict[str, Any]) -> FrequencyData:
-    """Rebuild a dataset and verify it against its embedded fingerprint."""
+def encode_dataset(data: FrequencyData, *, pool: Optional[DatasetPool] = None) -> dict[str, Any]:
+    """Encode one :class:`FrequencyData` (arrays + metadata + fingerprint).
+
+    With a :class:`~repro.cache.DatasetPool` the document is memoized by
+    content fingerprint: re-encoding an interned dataset returns the stored
+    document without re-hashing or re-base64-encoding the arrays (the pool's
+    ``encode_hits`` counter proves it).  Treat pooled documents as immutable.
+    """
+    if pool is not None:
+        return pool.document(data, _build_dataset_document)
+    return _build_dataset_document(data)
+
+
+def _build_dataset(spec: dict[str, Any]) -> FrequencyData:
     try:
         data = FrequencyData(
             _array_from_spec(spec["frequencies_hz"]),
@@ -114,18 +139,48 @@ def decode_dataset(spec: dict[str, Any]) -> FrequencyData:
     return data
 
 
+def decode_dataset(spec: dict[str, Any], *, pool: Optional[DatasetPool] = None) -> FrequencyData:
+    """Rebuild a dataset and verify it against its embedded fingerprint.
+
+    With a :class:`~repro.cache.DatasetPool`, documents repeated within one
+    decode session (a version-1 batch inlining the same dataset per job)
+    rebuild the arrays once and every repeat resolves to that single
+    interned instance -- so downstream consumers, the pickle memo and the
+    process executor's job table all dedupe for free.
+    """
+    if pool is not None:
+        return pool.decoded(spec, _build_dataset)
+    return _build_dataset(spec)
+
+
 # --------------------------------------------------------------------------- #
 # jobs
 # --------------------------------------------------------------------------- #
-def encode_job(job: FitJob) -> dict[str, Any]:
+def encode_job(job: FitJob, *, pool: Optional[DatasetPool] = None) -> dict[str, Any]:
     """Encode one :class:`FitJob`, pinned by its shard-layer fingerprint.
 
     The options travel in the same ``{"type", "items"}`` canonical form shard
     manifests use, so HTTP, manifest and direct-Python paths all describe a
     fit configuration with one :func:`~repro.core.options.canonical_token`
     per field.
+
+    Without a pool the datasets inline into the spec (the version-1 shape).
+    With a :class:`~repro.cache.DatasetPool` the spec carries only
+    ``data_ref``/``reference_ref`` fingerprints and the datasets live in the
+    pool -- :func:`encode_batch` assembles them into the batch-level table.
     """
     options = job.options
+    if pool is not None:
+        data_spec = {"data_ref": encode_dataset(job.data, pool=pool)["fingerprint"]}
+        if job.reference is not None:
+            data_spec["reference_ref"] = encode_dataset(job.reference, pool=pool)["fingerprint"]
+    else:
+        data_spec = {
+            "data": encode_dataset(job.data),
+            "reference": (
+                encode_dataset(job.reference) if job.reference is not None else None
+            ),
+        }
     return {
         "method": job.method,
         "label": job.label,
@@ -138,10 +193,7 @@ def encode_job(job: FitJob) -> dict[str, Any]:
                 "items": [list(item) for item in options.canonical_items()],
             }
         ),
-        "data": encode_dataset(job.data),
-        "reference": (
-            encode_dataset(job.reference) if job.reference is not None else None
-        ),
+        **data_spec,
         "time_domain": (
             job.time_domain.to_dict() if job.time_domain is not None else None
         ),
@@ -152,12 +204,39 @@ def encode_job(job: FitJob) -> dict[str, Any]:
     }
 
 
-def decode_job(spec: dict[str, Any]) -> FitJob:
-    """Rebuild a job and verify its :func:`~repro.batch.sharding.job_fingerprint`."""
+def decode_job(spec: dict[str, Any], *, pool: Optional[DatasetPool] = None) -> FitJob:
+    """Rebuild a job and verify its :func:`~repro.batch.sharding.job_fingerprint`.
+
+    Datasets resolve from the spec's inline documents or -- version 2 --
+    through ``data_ref``/``reference_ref`` fingerprints against ``pool``
+    (populated from the batch's dataset table); an unknown ref fails loudly.
+    """
+
+    def resolve(ref_key: str, inline_key: str) -> Optional[FrequencyData]:
+        ref = spec.get(ref_key)
+        if ref is not None:
+            if pool is None:
+                raise ProtocolError(
+                    f"job spec carries {ref_key!r} but no dataset table is in scope"
+                )
+            data = pool.get(ref)
+            if data is None:
+                raise ProtocolError(
+                    f"job spec references unknown dataset {ref!r}; not in the batch table"
+                )
+            return data
+        inline = spec.get(inline_key)
+        if inline is None:
+            return None
+        return decode_dataset(inline, pool=pool)
+
+    data = resolve("data_ref", "data")
+    if data is None:
+        raise ProtocolError("job spec carries neither 'data' nor 'data_ref'")
     try:
         options_spec = spec.get("options")
         job = FitJob(
-            decode_dataset(spec["data"]),
+            data,
             method=spec["method"],
             options=(
                 None
@@ -166,11 +245,7 @@ def decode_job(spec: dict[str, Any]) -> FitJob:
             ),
             label=spec.get("label", ""),
             tags=dict(spec.get("tags") or {}),
-            reference=(
-                decode_dataset(spec["reference"])
-                if spec.get("reference") is not None
-                else None
-            ),
+            reference=resolve("reference_ref", "reference"),
             time_domain=(
                 TimeDomainSpec(**spec["time_domain"])
                 if spec.get("time_domain") is not None
@@ -277,6 +352,8 @@ def encode_record(record: JobRecord) -> dict[str, Any]:
             key: float(value).hex() for key, value in record.passivity.items()
         },
         "cache_status": record.cache_status,
+        "response_hits": int(record.response_hits),
+        "response_misses": int(record.response_misses),
         "error_type": record.error_type,
         "error_message": record.error_message,
     }
@@ -305,6 +382,8 @@ def decode_record(spec: dict[str, Any]) -> JobRecord:
                 for key, value in (spec.get("passivity") or {}).items()
             },
             cache_status=spec.get("cache_status"),
+            response_hits=int(spec.get("response_hits") or 0),
+            response_misses=int(spec.get("response_misses") or 0),
             error_type=spec.get("error_type"),
             error_message=spec.get("error_message"),
         )
@@ -312,27 +391,78 @@ def decode_record(spec: dict[str, Any]) -> JobRecord:
         raise ProtocolError(f"malformed record spec: {exc}") from exc
 
 
-def encode_batch(jobs: list[FitJob]) -> dict[str, Any]:
-    """The ``POST /submit`` request body for a list of jobs."""
+def encode_batch(
+    jobs: list[FitJob],
+    *,
+    pool: Optional[DatasetPool] = None,
+    inline: bool = False,
+) -> dict[str, Any]:
+    """The ``POST /submit`` request body for a list of jobs.
+
+    The default (version 2) document interns every dataset into a
+    batch-level ``"datasets"`` table -- each unique dataset ships once,
+    jobs carry fingerprint refs.  ``inline=True`` emits the legacy
+    version-1 shape (one inline dataset copy per job), kept for old servers
+    and as the measuring stick the dedup benchmark compares against.
+    ``pool`` optionally supplies the intern table, so callers can read its
+    byte/encode counters afterwards (a fresh one is used per batch by
+    default).
+    """
+    if inline:
+        return {
+            "protocol_version": 1,
+            "jobs": [encode_job(job) for job in jobs],
+        }
+    if pool is None:
+        pool = DatasetPool()
+    specs = [encode_job(job, pool=pool) for job in jobs]
+    datasets: dict[str, Any] = {}
+    for spec in specs:
+        for key in ("data_ref", "reference_ref"):
+            fingerprint = spec.get(key)
+            if fingerprint is not None and fingerprint not in datasets:
+                datasets[fingerprint] = pool.document_for(fingerprint)
     return {
         "protocol_version": PROTOCOL_VERSION,
-        "jobs": [encode_job(job) for job in jobs],
+        "datasets": datasets,
+        "jobs": specs,
     }
 
 
 def decode_batch(document: dict[str, Any]) -> list[FitJob]:
-    """Validate and decode a ``POST /submit`` body into jobs."""
+    """Validate and decode a ``POST /submit`` body into jobs.
+
+    Accepts every version in :data:`SUPPORTED_PROTOCOL_VERSIONS`: version-2
+    documents resolve job refs against the batch's fingerprint-verified
+    dataset table; version-1 documents decode their inline datasets through
+    the same pool, so repeated datasets still intern to one instance.
+    """
     if not isinstance(document, dict):
         raise ProtocolError("submit body must be a JSON object")
     version = document.get("protocol_version")
-    if version != PROTOCOL_VERSION:
+    if version not in SUPPORTED_PROTOCOL_VERSIONS:
         raise ProtocolError(
-            f"client speaks protocol {version!r}, this server speaks {PROTOCOL_VERSION}"
+            f"client speaks protocol {version!r}, this server speaks "
+            f"{SUPPORTED_PROTOCOL_VERSIONS}"
         )
     jobs_spec = document.get("jobs")
     if not isinstance(jobs_spec, list) or not jobs_spec:
         raise ProtocolError("submit body must carry a non-empty 'jobs' list")
-    return [decode_job(spec) for spec in jobs_spec]
+    pool = DatasetPool()
+    if version >= 2:
+        table = document.get("datasets") or {}
+        if not isinstance(table, dict):
+            raise ProtocolError("the 'datasets' table must be a JSON object")
+        for fingerprint, spec in table.items():
+            if not isinstance(spec, dict):
+                raise ProtocolError(f"dataset table entry {fingerprint!r} is not an object")
+            data = decode_dataset(spec, pool=pool)
+            if dataset_fingerprint(data) != fingerprint:
+                raise ProtocolError(
+                    f"dataset table entry {fingerprint!r} decodes to a different "
+                    "fingerprint; the table is corrupt"
+                )
+    return [decode_job(spec, pool=pool) for spec in jobs_spec]
 
 
 def records_to_batch_result(records: list[JobRecord]) -> BatchResult:

@@ -238,6 +238,26 @@ class DescriptorSystem:
             return plan
         return None
 
+    def prime_evaluation_plan(self, frequencies_hz: Iterable[float]) -> None:
+        """Pin the cached fast-path plan to the state a sweep over
+        ``frequencies_hz`` would leave behind, without running the sweep.
+
+        The lazily-built plan's spectral shift comes from the points that
+        first built it, so two objects with identical content can produce
+        bitwise-different (round-off apart) sweeps if their *first*
+        evaluations ran on different grids.  Callers that may skip this
+        object's first sweep -- the cross-job response cache, where a hit
+        on the fit grid leaves the plan to be seeded by whichever later
+        grid misses -- prime from the canonical first grid instead, so
+        every subsequent evaluation is independent of which sweeps were
+        skipped.  A no-op when the sweep is too short for the fast path
+        or a plan was already built.
+        """
+        freqs = np.asarray(list(frequencies_hz), dtype=float)
+        pts = 1j * 2.0 * np.pi * freqs
+        if pts.size >= FAST_PATH_MIN_POINTS:
+            self._evaluation_plan(pts)
+
     def frequency_response(
         self, frequencies_hz: Iterable[float], *, method: str = "auto"
     ) -> np.ndarray:

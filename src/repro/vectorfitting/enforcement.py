@@ -653,10 +653,14 @@ def _feedthrough_margin(model: PoleResidueModel, representation: str) -> float:
     return float(np.min(np.linalg.eigvalsh(hermitian)))
 
 
-def _aggregate_error(model, data) -> float:
+def _aggregate_error(model, data, responses=None) -> float:
     from repro.metrics.errors import model_aggregate_error
 
-    return float(model_aggregate_error(model, data))
+    # the response cache only shares the model-independent reference norms
+    # here: every perturbation round evaluates a *new* candidate model, so
+    # memoizing those sweeps would only pollute the cache
+    norms = responses.reference_norms(data) if responses is not None else None
+    return float(model_aggregate_error(model, data, norms=norms))
 
 
 def enforce_passivity(
@@ -665,6 +669,7 @@ def enforce_passivity(
     spec: PassivitySpec,
     *,
     reference=None,
+    responses=None,
 ) -> tuple[PoleResidueModel, PassivityCertificate]:
     """Repair a fitted model into a certified passive one (or fail loudly).
 
@@ -683,6 +688,10 @@ def enforce_passivity(
     reference:
         Optional hold-out sweep; when given, the certificate's
         ``error_delta`` is measured against it instead of the fit data.
+    responses:
+        Optional response tally (see :class:`repro.cache.ResponseTally`);
+        shares the reference-norm SVD sweeps of ``data``/``reference`` with
+        other jobs in a batch.  Never changes any value.
 
     Returns
     -------
@@ -704,8 +713,8 @@ def enforce_passivity(
     holdout = _check_grid(f_lo, f_hi, n_holdout, prm.poles, anchor_density=spec.holdout_oversample)
 
     error_data = data if reference is None else reference
-    original_error = _aggregate_error(prm, error_data)
-    original_fit_error = _aggregate_error(prm, data)
+    original_error = _aggregate_error(prm, error_data, responses)
+    original_fit_error = _aggregate_error(prm, data, responses)
     original_norm = float(np.linalg.norm(prm.residues))
 
     def verified(candidate):
@@ -772,7 +781,7 @@ def enforce_passivity(
                 work_freqs, work_margins = merged[keep], merged_margins[keep]
             continue
 
-        enforced_fit_error = _aggregate_error(current, data)
+        enforced_fit_error = _aggregate_error(current, data, responses)
         growth_budget = (
             original_fit_error * (1.0 + spec.max_error_growth)
             + spec.max_error_growth * _ERROR_GROWTH_FLOOR
@@ -788,7 +797,7 @@ def enforce_passivity(
             np.linalg.norm(current.residues - prm.residues)
             / max(original_norm, float(np.finfo(float).tiny))
         )
-        error_delta = _aggregate_error(current, error_data) - original_error
+        error_delta = _aggregate_error(current, error_data, responses) - original_error
         certificate = PassivityCertificate(
             representation=spec.representation,
             f_min_hz=f_lo,
@@ -808,7 +817,9 @@ def enforce_passivity(
     )
 
 
-def passivity_metrics(model, data, spec: PassivitySpec, *, reference=None) -> dict[str, float]:
+def passivity_metrics(
+    model, data, spec: PassivitySpec, *, reference=None, responses=None
+) -> dict[str, float]:
     """The certificate columns of one enforced model (the batch entry point).
 
     Runs :func:`enforce_passivity` and flattens the certificate into the
@@ -817,5 +828,5 @@ def passivity_metrics(model, data, spec: PassivitySpec, *, reference=None) -> di
     propagates -- in a batch run it fails that job's record loudly instead of
     emitting an uncertified row.
     """
-    _, certificate = enforce_passivity(model, data, spec, reference=reference)
+    _, certificate = enforce_passivity(model, data, spec, reference=reference, responses=responses)
     return certificate.to_metrics()

@@ -232,7 +232,7 @@ class TestBatchResult:
         path = batch.save_json(str(tmp_path / "nested" / "batch.json"))
         with open(path, encoding="utf-8") as handle:
             payload = json.load(handle)
-        assert payload["schema_version"] == 4
+        assert payload["schema_version"] == 5
         assert payload["n_jobs"] == batch.n_jobs
         assert payload["n_failed"] == 0
         assert payload["n_cache_hits"] == 0  # batch ran without a cache

@@ -351,7 +351,7 @@ class TestBatchCacheEquivalence:
         assert f"cache hits={len(job_grid)}/{len(job_grid)}" in table
         assert "hit" in table
         payload = json.loads(warm.to_json())
-        assert payload["schema_version"] == 4
+        assert payload["schema_version"] == 5
         assert payload["n_cache_hits"] == len(job_grid)
         assert payload["n_cache_misses"] == 0
         assert all(job["cache"] == "hit" for job in payload["jobs"])

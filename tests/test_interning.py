@@ -1,0 +1,451 @@
+"""The interning layer's contract: bitwise identity, dedup, exact counters.
+
+Three layers, mirroring the module split:
+
+* **hypothesis property tests** of :class:`~repro.cache.DatasetPool`,
+  :class:`~repro.cache.JobTable` and the shared-memory arena -- interning
+  and reconstruction (pickle *and* shm) are bitwise round trips, distinct
+  payloads never collide onto one ref, byte accounting adds up;
+* **wire-protocol tests** -- the version-2 batch-level dataset table and the
+  legacy version-1 inline shape decode to jobs with identical fingerprints
+  and run to ``comparable_json``-identical batches; tampered tables and
+  dangling refs are rejected;
+* **differential engine tests** -- serial / response-cache-off /
+  process+shared-memory runs and a 2-shard CLI round trip (process executor,
+  ``--shared-memory``) all produce ``comparable_json``-identical results,
+  and the response-cache tallies are *exactly* what the sharing structure
+  predicts.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.batch import (
+    BatchEngine,
+    FitJob,
+    comparable_json,
+    job_fingerprint,
+    load_manifest,
+    merge_shard_results,
+    numerical_differences,
+    write_manifests,
+)
+from repro.batch.shard import cli_subprocess
+from repro.batch.sharding import ShardPlan
+from repro.cache import (
+    DatasetPool,
+    JobTable,
+    ResponseCache,
+    SharedDatasetArena,
+    dataset_fingerprint,
+    dataset_nbytes,
+    grid_fingerprint,
+    system_fingerprint,
+)
+from repro.cache.interning import _dataset_from_shared
+from repro.core.options import MftiOptions
+from repro.data.dataset import FrequencyData
+from repro.experiments.workloads import mixed_batch_jobs
+from repro.serve.protocol import ProtocolError, decode_batch, encode_batch
+
+# tiny generated datasets: everything here is shape-agnostic and tier 1
+# must stay fast
+_DIMS = st.integers(min_value=1, max_value=3)
+_COUNTS = st.integers(min_value=1, max_value=4)
+_FINITE = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False,
+                    allow_infinity=False, width=64)
+
+
+@st.composite
+def datasets(draw) -> FrequencyData:
+    """A small random-but-valid FrequencyData."""
+    k, p, m = draw(_COUNTS), draw(_DIMS), draw(_DIMS)
+    gaps = draw(st.lists(st.floats(min_value=0.5, max_value=10.0),
+                         min_size=k, max_size=k))
+    freqs = np.cumsum(np.asarray(gaps, dtype=float)) + 1.0
+    real = draw(st.lists(_FINITE, min_size=k * p * m, max_size=k * p * m))
+    imag = draw(st.lists(_FINITE, min_size=k * p * m, max_size=k * p * m))
+    samples = (np.asarray(real) + 1j * np.asarray(imag)).reshape(k, p, m)
+    kind = draw(st.sampled_from(["S", "Z", "Y", "H"]))
+    return FrequencyData(freqs, samples, kind=kind, label="generated")
+
+
+def bitwise_equal(a: FrequencyData, b: FrequencyData) -> bool:
+    """Arrays byte-identical (dtype, shape, every bit) plus the metadata."""
+    return (
+        a.frequencies_hz.dtype == b.frequencies_hz.dtype
+        and a.samples.dtype == b.samples.dtype
+        and a.frequencies_hz.shape == b.frequencies_hz.shape
+        and a.samples.shape == b.samples.shape
+        and a.frequencies_hz.tobytes() == b.frequencies_hz.tobytes()
+        and a.samples.tobytes() == b.samples.tobytes()
+        and a.kind == b.kind
+        and a.reference_impedance == b.reference_impedance
+    )
+
+
+# --------------------------------------------------------------------------- #
+# DatasetPool properties
+# --------------------------------------------------------------------------- #
+class TestDatasetPool:
+    @settings(max_examples=25, deadline=None)
+    @given(data=datasets())
+    def test_intern_is_a_bitwise_round_trip_with_exact_byte_accounting(self, data):
+        pool = DatasetPool()
+        ref = pool.intern(data)
+        assert ref == dataset_fingerprint(data)
+        assert pool.get(ref) is data
+        assert bitwise_equal(pool.get(ref), data)
+        # interning an equal copy dedupes onto the first instance
+        copy = FrequencyData(
+            np.array(data.frequencies_hz, copy=True),
+            np.array(data.samples, copy=True),
+            kind=data.kind,
+            reference_impedance=data.reference_impedance,
+            label="another label",
+        )
+        assert pool.intern(copy) == ref
+        assert pool.get(ref) is data
+        size = dataset_nbytes(data)
+        assert (pool.interned, pool.total_bytes, pool.unique_bytes) == (2, 2 * size, size)
+        assert pool.bytes_saved == size
+        assert len(pool) == 1 and ref in pool
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=datasets(), st_data=st.data())
+    def test_distinct_payloads_never_collide_on_one_ref(self, data, st_data):
+        k = st_data.draw(st.integers(0, data.n_samples - 1), label="freq index")
+        i = st_data.draw(st.integers(0, data.n_outputs - 1), label="row")
+        j = st_data.draw(st.integers(0, data.n_inputs - 1), label="col")
+        samples = np.array(data.samples, copy=True)
+        entry = samples[k, i, j]
+        samples[k, i, j] = np.nextafter(entry.real, np.inf) + 1j * entry.imag
+        perturbed = data.with_samples(samples)
+        pool = DatasetPool()
+        assert pool.intern(data) != pool.intern(perturbed)
+        assert len(pool) == 2
+
+    def test_pickle_round_trip_drops_nothing_but_the_lock(self, small_data):
+        pool = DatasetPool()
+        ref = pool.intern(small_data)
+        clone = pickle.loads(pickle.dumps(pool))
+        assert bitwise_equal(clone.get(ref), small_data)
+        assert clone.stats() == pool.stats()
+
+
+# --------------------------------------------------------------------------- #
+# shared-memory transport
+# --------------------------------------------------------------------------- #
+class TestSharedMemory:
+    @settings(max_examples=10, deadline=None)
+    @given(data=datasets())
+    def test_shm_reconstruction_is_bitwise(self, data):
+        arena = SharedDatasetArena()
+        try:
+            ref = dataset_fingerprint(data)
+            entry = arena.entry_for(ref, data)
+            rebuilt = _dataset_from_shared(entry)
+            assert bitwise_equal(rebuilt, data)
+            assert dataset_fingerprint(rebuilt) == ref
+            # re-requesting the same fingerprint reuses the segment
+            again = arena.entry_for(ref, data)
+            assert again["segment"] == entry["segment"]
+            assert len(arena) == 1
+        finally:
+            arena.cleanup()
+        assert len(arena) == 0 and arena.shared_bytes == 0
+
+    def test_cleanup_unlinks_segments(self, small_data):
+        from multiprocessing import shared_memory
+
+        arena = SharedDatasetArena()
+        entry = arena.entry_for(dataset_fingerprint(small_data), small_data)
+        arena.cleanup()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=entry["segment"])
+
+
+# --------------------------------------------------------------------------- #
+# JobTable: the process executor's chunk codec
+# --------------------------------------------------------------------------- #
+class TestJobTable:
+    def chunk(self, small_data, noisy_data, dense_data):
+        jobs = [
+            FitJob(small_data, method="vfti", reference=dense_data, label="a"),
+            FitJob(small_data, method="mfti", options=MftiOptions(block_size=2),
+                   reference=dense_data, label="b", tags={"t": 2}),
+            FitJob(noisy_data, method="vfti", reference=dense_data, label="c"),
+        ]
+        return list(enumerate(jobs)), jobs
+
+    @pytest.mark.parametrize("use_arena", [False, True])
+    def test_pack_unpack_is_bitwise_and_dedupes(self, small_data, noisy_data,
+                                                dense_data, use_arena):
+        chunk, jobs = self.chunk(small_data, noisy_data, dense_data)
+        arena = SharedDatasetArena() if use_arena else None
+        try:
+            table = JobTable.pack(chunk, arena=arena)
+            # 3 unique datasets across 6 consultations
+            assert len(table.datasets) == 3
+            if use_arena:
+                assert all(tag == "shm" for tag, _ in table.datasets.values())
+                assert len(arena) == 3
+            rebuilt = table.unpack()
+        finally:
+            if arena is not None:
+                arena.cleanup()
+        assert [index for index, _ in rebuilt] == [0, 1, 2]
+        for (_, original), (_, job) in zip(chunk, rebuilt):
+            assert bitwise_equal(job.data, original.data)
+            assert bitwise_equal(job.reference, original.reference)
+            assert job_fingerprint(job) == job_fingerprint(original)
+        # jobs sharing a dataset resolve to one instance per chunk
+        assert rebuilt[0][1].data is rebuilt[1][1].data
+        assert rebuilt[0][1].reference is rebuilt[2][1].reference
+
+    def test_unpack_through_pool_persists_across_chunks(self, small_data, dense_data):
+        pool = DatasetPool()
+        chunk_a = [(0, FitJob(small_data, method="vfti", reference=dense_data))]
+        chunk_b = [(1, FitJob(small_data, method="mfti", reference=dense_data))]
+        jobs_a = JobTable.pack(chunk_a).unpack(pool=pool)
+        jobs_b = JobTable.pack(chunk_b).unpack(pool=pool)
+        # the second chunk resolves straight out of the worker pool
+        assert jobs_b[0][1].data is jobs_a[0][1].data
+        assert jobs_b[0][1].reference is jobs_a[0][1].reference
+        assert len(pool) == 2
+
+    def test_unpack_rejects_dangling_refs_and_tampered_segments(self, small_data):
+        table = JobTable.pack([(0, FitJob(small_data, method="vfti"))])
+        dangling = JobTable(jobs=table.jobs, datasets={})
+        with pytest.raises(ValueError, match="unknown dataset"):
+            dangling.unpack()
+        # a shm entry whose bytes do not hash back to the claimed ref
+        arena = SharedDatasetArena()
+        try:
+            other = small_data.with_samples(np.array(small_data.samples) * 2.0)
+            entry = arena.entry_for(dataset_fingerprint(other), other)
+            lying = JobTable(jobs=table.jobs,
+                             datasets={next(iter(table.datasets)): ("shm", entry)})
+            with pytest.raises(ValueError, match="different fingerprint"):
+                lying.unpack()
+        finally:
+            arena.cleanup()
+
+    def test_packed_chunk_is_smaller_than_naive_pickle(self, small_data, dense_data):
+        chunk = [(i, FitJob(small_data, method="vfti", reference=dense_data,
+                            label=f"job-{i}"))
+                 for i in range(8)]
+        naive = len(pickle.dumps(chunk, protocol=pickle.HIGHEST_PROTOCOL))
+        packed = JobTable.pack(chunk).payload_nbytes()
+        # 16 dataset consultations collapse to 2 shipped copies.  (The naive
+        # pickle also memoizes *object-identical* datasets, so compare
+        # against distinct-copy jobs the way cross-process transports see
+        # decoded payloads.)
+        distinct = [
+            (i, FitJob(job.data.with_samples(np.array(job.data.samples, copy=True)),
+                       method=job.method, label=job.label,
+                       reference=job.reference.with_samples(
+                           np.array(job.reference.samples, copy=True))))
+            for i, job in chunk
+        ]
+        naive_distinct = len(pickle.dumps(distinct, protocol=pickle.HIGHEST_PROTOCOL))
+        assert packed < naive_distinct
+        assert packed <= naive + 4096  # refs cost a few hundred bytes, not copies
+
+
+# --------------------------------------------------------------------------- #
+# wire protocol: batch-level dataset table vs. legacy inline
+# --------------------------------------------------------------------------- #
+class TestWireProtocol:
+    def jobs(self, small_data, noisy_data, dense_data):
+        return [
+            FitJob(small_data, method="vfti", reference=dense_data, label="a"),
+            FitJob(small_data, method="mfti", options=MftiOptions(block_size=2),
+                   reference=dense_data, label="b"),
+            FitJob(noisy_data, method="vfti", reference=dense_data, label="c"),
+        ]
+
+    def test_v2_and_v1_decode_to_identical_jobs(self, small_data, noisy_data,
+                                                dense_data):
+        jobs = self.jobs(small_data, noisy_data, dense_data)
+        pool = DatasetPool()
+        v2 = encode_batch(jobs, pool=pool)
+        v1 = encode_batch(jobs, inline=True)
+        assert v2["protocol_version"] == 2 and v1["protocol_version"] == 1
+        assert set(v2["datasets"]) == {dataset_fingerprint(d)
+                                       for d in (small_data, noisy_data, dense_data)}
+        # 6 consultations, 3 unique documents actually built
+        assert (pool.encode_hits, pool.encode_misses) == (3, 3)
+        # both shapes survive JSON and decode to fingerprint-identical jobs
+        decoded_v2 = decode_batch(json.loads(json.dumps(v2)))
+        decoded_v1 = decode_batch(json.loads(json.dumps(v1)))
+        fingerprints = [job_fingerprint(job) for job in jobs]
+        assert [job_fingerprint(j) for j in decoded_v2] == fingerprints
+        assert [job_fingerprint(j) for j in decoded_v1] == fingerprints
+        for decoded in (decoded_v2, decoded_v1):
+            for job, original in zip(decoded, jobs):
+                assert bitwise_equal(job.data, original.data)
+                assert bitwise_equal(job.reference, original.reference)
+        # the table shape ships each dataset once: strictly smaller payload
+        assert len(json.dumps(v2)) < len(json.dumps(v1))
+
+    def test_decoded_batches_run_to_identical_results(self, small_data, noisy_data,
+                                                      dense_data):
+        jobs = self.jobs(small_data, noisy_data, dense_data)
+        engine = BatchEngine()
+        reference = comparable_json(engine.run(jobs))
+        via_v2 = comparable_json(engine.run(decode_batch(encode_batch(jobs))))
+        via_v1 = comparable_json(engine.run(decode_batch(encode_batch(jobs, inline=True))))
+        assert via_v2 == reference
+        assert via_v1 == reference
+
+    def test_decode_rejects_tampered_table_and_dangling_ref(self, small_data,
+                                                            dense_data):
+        jobs = [FitJob(small_data, method="vfti", reference=dense_data)]
+        document = encode_batch(jobs)
+        wrong_key = dict(document)
+        wrong_key["datasets"] = {"0" * 64: next(iter(document["datasets"].values()))}
+        wrong_key["jobs"] = [dict(document["jobs"][0], data_ref="0" * 64)]
+        with pytest.raises(ProtocolError):
+            decode_batch(wrong_key)
+        dangling = dict(document, datasets={})
+        with pytest.raises(ProtocolError):
+            decode_batch(dangling)
+
+
+# --------------------------------------------------------------------------- #
+# the cross-job response cache
+# --------------------------------------------------------------------------- #
+class TestResponseCache:
+    def test_memoized_values_are_bitwise_and_frozen(self, small_data, small_system):
+        from repro.metrics.errors import reference_norms
+
+        cache = ResponseCache()
+        first, status_first = cache.reference_norms(small_data)
+        again, status_again = cache.reference_norms(small_data)
+        assert (status_first, status_again) == ("miss", "hit")
+        assert again is first and not first.flags.writeable
+        assert first.tobytes() == reference_norms(small_data.samples).tobytes()
+
+        sweep, s1 = cache.model_sweep(small_system, small_data)
+        sweep2, s2 = cache.model_sweep(small_system, small_data)
+        assert (s1, s2) == ("miss", "hit") and sweep2 is sweep
+        direct = np.asarray(small_system.frequency_response(small_data.frequencies_hz))
+        assert sweep.tobytes() == direct.tobytes()
+        assert cache.stats() == {"norm_hits": 1, "norm_misses": 1,
+                                 "sweep_hits": 1, "sweep_misses": 1,
+                                 "norm_entries": 1, "sweep_entries": 1}
+
+    def test_sweep_key_separates_models_and_grids(self, small_system, siso_system,
+                                                  small_data, dense_data):
+        assert system_fingerprint(small_system) != system_fingerprint(siso_system)
+        assert grid_fingerprint(small_data) != grid_fingerprint(dense_data)
+        cache = ResponseCache()
+        cache.model_sweep(small_system, small_data)
+        _, status = cache.model_sweep(small_system, dense_data)
+        assert status == "miss"  # same model, different grid
+
+    def test_lru_bound_evicts_oldest(self, small_data, dense_data):
+        cache = ResponseCache(max_entries=1)
+        cache.reference_norms(small_data)
+        cache.reference_norms(dense_data)  # evicts small_data's norms
+        _, status = cache.reference_norms(small_data)
+        assert status == "miss"
+
+    def test_batch_tallies_match_the_sharing_structure_exactly(self, small_data,
+                                                               dense_data):
+        jobs = [
+            FitJob(small_data, method="vfti", reference=dense_data, label="a"),
+            FitJob(small_data, method="mfti", reference=dense_data, label="b"),
+            FitJob(small_data, method="vfti", reference=dense_data, label="c"),
+        ]
+        result = BatchEngine().run(jobs).raise_failures()
+        # per job: 2 sweep + 2 norm consultations (error_vs_data + _reference).
+        # job a: cold cache, 4 misses.  job b: new model (2 sweep misses) over
+        # the already-normed datasets (2 norm hits).  job c: same fit as a,
+        # same system fingerprint -- all 4 consultations hit.
+        assert [(r.response_hits, r.response_misses) for r in result.records] == \
+               [(0, 4), (2, 2), (4, 0)]
+        assert (result.n_response_hits, result.n_response_misses) == (6, 6)
+        assert result.used_responses
+        # hits == consultations - (unique norms + unique sweeps)
+        assert result.n_response_hits == 12 - (2 + 2 * 2)
+
+        off = BatchEngine(response_cache=False).run(jobs).raise_failures()
+        assert not off.used_responses
+        assert comparable_json(off) == comparable_json(result)
+
+
+# --------------------------------------------------------------------------- #
+# engine + shard differentials with interning on
+# --------------------------------------------------------------------------- #
+#: Scaled-down mixed grid shared with test_sharding (fast, same structure).
+GRID_KWARGS = dict(pdn_samples=36, pdn_validation=48, line_sections=10,
+                   line_samples=40, line_validation=50)
+
+
+@pytest.fixture(scope="module")
+def grid_jobs():
+    return mixed_batch_jobs(**GRID_KWARGS)
+
+
+@pytest.fixture(scope="module")
+def serial_reference(grid_jobs):
+    result = BatchEngine().run(grid_jobs)
+    assert result.n_failed == 0, result.failures
+    return result
+
+
+class TestEngineDifferentials:
+    def test_process_shared_memory_is_bitwise_identical(self, grid_jobs,
+                                                        serial_reference):
+        engine = BatchEngine(executor="process", max_workers=2, chunk_size=2,
+                             shared_memory=True)
+        result = engine.run(grid_jobs)
+        assert not numerical_differences(serial_reference, result)
+        assert comparable_json(result) == comparable_json(serial_reference)
+
+    def test_response_cache_off_is_bitwise_identical(self, grid_jobs,
+                                                     serial_reference):
+        result = BatchEngine(response_cache=False).run(grid_jobs)
+        assert not result.used_responses
+        assert comparable_json(result) == comparable_json(serial_reference)
+
+    def test_two_shard_cli_merge_with_interning_on(self, grid_jobs,
+                                                   serial_reference, tmp_path):
+        """2-shard CLI round trip, process executor + shared memory per shard."""
+        plan = ShardPlan.from_jobs(grid_jobs, 2)
+        paths = write_manifests(plan, grid_jobs, tmp_path,
+                                workload="mixed_batch_jobs",
+                                workload_kwargs=GRID_KWARGS)
+        shard_files = []
+        for path in paths:
+            run = cli_subprocess("run", str(path), "--executor", "process",
+                                 "--workers", "2", "--chunk-size", "1",
+                                 "--shared-memory")
+            assert run.returncode == 0, run.stderr
+            shard_files.append(str(path).replace(".manifest.json", ".result.npz"))
+        merged = merge_shard_results(shard_files)
+        assert not numerical_differences(serial_reference, merged)
+        assert comparable_json(merged) == comparable_json(serial_reference)
+
+    def test_manifest_round_trip_preserves_shared_memory_flag(self, grid_jobs,
+                                                              tmp_path):
+        engine = BatchEngine.from_config({"executor": "process",
+                                          "shared_memory": True})
+        assert engine.shared_memory
+        assert BatchEngine.from_config(engine.to_config()).shared_memory
+        # defaults stay terse: no flag emitted unless set
+        assert "shared_memory" not in BatchEngine().to_config()
+        paths = write_manifests(ShardPlan.from_jobs(grid_jobs, 2), grid_jobs,
+                                tmp_path, workload="mixed_batch_jobs",
+                                workload_kwargs=GRID_KWARGS)
+        manifest = load_manifest(paths[0])
+        assert manifest is not None
